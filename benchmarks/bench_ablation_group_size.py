@@ -1,0 +1,84 @@
+"""Ablation: QI-group size — why Anatomize keeps groups at exactly l.
+
+Theorem 2's equality case needs groups of exactly ``l`` tuples with
+distinct sensitive values; bigger groups raise the per-tuple
+reconstruction error (``1 - 1/s`` for an all-distinct group of size
+``s``) *and* the query error, while buying extra privacy the ``l``
+target did not ask for.  This bench merges consecutive Anatomize groups
+into size ``k*l`` super-groups and measures RCE, breach bound, and
+workload error as ``k`` grows — quantifying the trade-off the paper's
+group-size choice sits on.
+"""
+
+import numpy as np
+
+from repro.core.anatomize import anatomize_partition
+from repro.core.partition import Partition
+from repro.core.rce import anatomy_rce, rce_lower_bound
+from repro.core.tables import AnatomizedTables
+from repro.query.estimators import AnatomyEstimator, ExactEvaluator
+from repro.query.evaluate import evaluate_workload
+from repro.query.workload import make_workload
+
+
+def merge_groups(partition: Partition, factor: int) -> Partition:
+    """Merge each run of ``factor`` consecutive groups into one."""
+    merged = []
+    groups = list(partition)
+    for i in range(0, len(groups), factor):
+        chunk = groups[i:i + factor]
+        merged.append(np.concatenate([g.indices for g in chunk]))
+    return Partition(partition.table, merged, validate=False)
+
+
+def test_ablation_group_size(benchmark, bench_config, dataset):
+    l = bench_config.l
+    table = dataset.sample_view(4, "Occupation",
+                                bench_config.default_n, seed=0)
+    workload = make_workload(table.schema, qd=4, s=0.05,
+                             count=bench_config.queries_per_workload,
+                             seed=bench_config.workload_seed)
+    exact = ExactEvaluator(table)
+
+    def run():
+        base = anatomize_partition(table, l, seed=0)
+        rows = {}
+        for factor in (1, 2, 4):
+            partition = base if factor == 1 else merge_groups(base,
+                                                              factor)
+            published = AnatomizedTables.from_partition(partition)
+            result = evaluate_workload(workload, exact,
+                                       AnatomyEstimator(published))
+            rows[factor] = {
+                "group_size": partition.group_sizes()[0],
+                "rce": anatomy_rce(partition),
+                "breach": published.breach_probability_bound(),
+                "error": 100 * result.average_relative_error(),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    bound = rce_lower_bound(len(table), l)
+
+    print()
+    print(f"-- ablation: group size (OCC-4, n={bench_config.default_n:,},"
+          f" l={l}; merging k consecutive Anatomize groups) --")
+    print(f"{'k':>3} | {'group size':>10} | {'RCE/bound':>10} | "
+          f"{'breach bound':>12} | {'avg rel err':>12}")
+    print("-" * 62)
+    for factor, r in rows.items():
+        print(f"{factor:>3} | {r['group_size']:>10} | "
+              f"{r['rce'] / bound:>10.4f} | {r['breach']:>11.1%} | "
+              f"{r['error']:>11.2f}%")
+        benchmark.extra_info[f"k{factor}.rce_over_bound"] = round(
+            r["rce"] / bound, 4)
+        benchmark.extra_info[f"k{factor}.error_pct"] = round(
+            r["error"], 3)
+
+    # RCE grows monotonically with group size; k=1 achieves the bound.
+    assert rows[1]["rce"] / bound <= 1 + 1 / len(table) + 1e-9
+    assert rows[1]["rce"] < rows[2]["rce"] < rows[4]["rce"]
+    # privacy strengthens (smaller breach bound) as groups grow
+    assert rows[1]["breach"] >= rows[2]["breach"] >= rows[4]["breach"]
+    # query error does not improve by inflating groups
+    assert rows[4]["error"] >= rows[1]["error"] * 0.9

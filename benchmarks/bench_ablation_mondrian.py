@@ -1,0 +1,83 @@
+"""Ablation: Mondrian split policy (strict median vs relaxed search).
+
+The baseline's quality depends on how hard it tries to find an allowable
+cut: the strict variant tests only the single permitted cut nearest the
+median; the relaxed variant (our default, candidates=9) probes nearby
+cuts before declaring a node unsplittable.  Relaxed search yields finer
+partitions and lower query error — this bench quantifies the difference
+so the comparison against anatomy uses the *stronger* baseline.
+"""
+
+from repro.generalization.mondrian import (
+    MondrianConfig,
+    mondrian,
+    mondrian_partition,
+)
+from repro.generalization.recoding import census_recoder
+from repro.query.estimators import (
+    ExactEvaluator,
+    GeneralizationEstimator,
+)
+from repro.query.evaluate import evaluate_workload
+from repro.query.workload import make_workload
+
+
+def test_ablation_mondrian_split_policy(benchmark, bench_config, dataset):
+    d = 5
+    table = dataset.sample_view(d, "Occupation", bench_config.default_n,
+                                seed=0)
+    configs = {
+        "strict": MondrianConfig(strict_median=True),
+        "relaxed-3": MondrianConfig(max_cut_candidates=3),
+        "relaxed-9 (default)": MondrianConfig(max_cut_candidates=9),
+    }
+    workload = make_workload(table.schema, qd=d, s=0.05,
+                             count=bench_config.queries_per_workload,
+                             seed=bench_config.workload_seed)
+    exact = ExactEvaluator(table)
+
+    def run_all():
+        rows = {}
+        for name, config in configs.items():
+            gt = mondrian(table, bench_config.l,
+                          recoder=census_recoder(), config=config)
+            result = evaluate_workload(workload, exact,
+                                       GeneralizationEstimator(gt))
+            rows[name] = (gt.m, 100 * result.average_relative_error())
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    print(f"-- ablation: Mondrian split policy (OCC-{d}, "
+          f"n={bench_config.default_n:,}, l={bench_config.l}) --")
+    print(f"{'policy':>22} | {'QI-groups':>10} | {'avg rel. error':>15}")
+    print("-" * 55)
+    for name, (m, err) in rows.items():
+        print(f"{name:>22} | {m:>10,} | {err:>14.1f}%")
+        benchmark.extra_info[f"{name}.groups"] = m
+        benchmark.extra_info[f"{name}.error_pct"] = round(err, 2)
+
+    # relaxed search must not be worse than strict
+    assert rows["relaxed-9 (default)"][0] >= rows["strict"][0]
+    assert rows["relaxed-9 (default)"][1] <= rows["strict"][1] * 1.2
+
+
+def test_ablation_group_granularity(benchmark, bench_config, dataset):
+    """Finer partitions (smaller l) produce more groups; the count is
+    monotone — sanity for the baseline's search effectiveness."""
+    table = dataset.sample_view(4, "Occupation", bench_config.default_n,
+                                seed=0)
+
+    def run():
+        return {l: mondrian_partition(table, l,
+                                      recoder=census_recoder()).m
+                for l in (5, 10, 20)}
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("-- Mondrian group count vs l (OCC-4) --")
+    for l, m in counts.items():
+        print(f"  l={l:>3}: {m:,} groups")
+        benchmark.extra_info[f"l{l}.groups"] = m
+    assert counts[5] >= counts[10] >= counts[20]

@@ -1,0 +1,30 @@
+"""Paper Figure 4: query accuracy vs the number d of QI attributes.
+
+Panels: OCC-d and SAL-d, d = 3..7, qd = d, s = 5%, l = 10.
+
+Paper's shape: anatomy's average relative error stays below ~10% and flat
+in d; generalization's error grows steeply with d (orders of magnitude
+worse by d = 7).
+"""
+
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_figure, summarize_shape
+
+
+def test_fig4_error_vs_d(benchmark, run_figure, record_shape):
+    result = run_figure(benchmark, figure4)
+    print()
+    print(render_figure(result))
+    record_shape(benchmark, result)
+
+    shape = summarize_shape(result)
+    for label, stats in shape.items():
+        # anatomy stays accurate regardless of d
+        assert stats["anatomy_max"] < 15.0, label
+        # generalization is worse everywhere, and much worse at high d
+        assert stats["min_ratio"] > 1.0, label
+        assert stats["max_ratio"] > 4.0, label
+    for series in result.series:
+        # the gap widens as d grows (the paper's headline finding)
+        ratios = series.ratio()
+        assert ratios[-1] > ratios[0], series.label

@@ -1,0 +1,28 @@
+"""Paper Figure 6: query accuracy vs expected selectivity s.
+
+Panels: OCC-d and SAL-d for d = 3, 5, 7 (matching 6a-6f); s sweeps
+1%..10% with qd = d, l = 10.
+
+Paper's shape: both methods get more precise as s grows (larger answers
+are easier to approximate in relative terms), with anatomy the clear
+winner throughout.
+"""
+
+from repro.experiments.figures import figure6
+from repro.experiments.report import render_figure
+
+
+def test_fig6_error_vs_selectivity(benchmark, run_figure, record_shape):
+    result = run_figure(benchmark, figure6)
+    print()
+    print(render_figure(result))
+    record_shape(benchmark, result)
+
+    for series in result.series:
+        # anatomy wins at every selectivity
+        for a, g in zip(series.anatomy, series.generalization):
+            assert a < g, series.label
+        # precision improves (or at worst stays flat) with s for both
+        assert series.anatomy[-1] <= series.anatomy[0] * 1.5, series.label
+        assert series.generalization[-1] < series.generalization[0], \
+            series.label

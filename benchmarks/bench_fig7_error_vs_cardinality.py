@@ -1,0 +1,25 @@
+"""Paper Figure 7: query accuracy vs dataset cardinality n.
+
+Panels: OCC-5 and SAL-5; n sweeps the config's cardinalities with qd = 5,
+s = 5%, l = 10.
+
+Paper's shape: anatomy achieves significantly lower error at every
+cardinality; neither method degrades as n grows.
+"""
+
+from repro.experiments.figures import figure7
+from repro.experiments.report import render_figure
+
+
+def test_fig7_error_vs_cardinality(benchmark, run_figure, record_shape):
+    result = run_figure(benchmark, figure7)
+    print()
+    print(render_figure(result))
+    record_shape(benchmark, result)
+
+    for series in result.series:
+        # anatomy wins at every cardinality
+        for a, g in zip(series.anatomy, series.generalization):
+            assert a < g, series.label
+        # anatomy's accuracy does not degrade with n
+        assert series.anatomy[-1] < series.anatomy[0] * 2, series.label

@@ -1,0 +1,28 @@
+"""Paper Figure 8: I/O cost vs the number d of QI attributes.
+
+Panels: OCC-d and SAL-d, d = 3..7, n at the config default; page size
+4096 bytes, 50-page memory (the paper's Section 6.2 setup).
+
+Paper's shape: anatomy needs significantly fewer I/Os at every d, and the
+gap widens with d (at the paper's scale, roughly 10x by d = 7).
+"""
+
+from repro.experiments.figures import figure8
+from repro.experiments.report import render_figure
+
+
+def test_fig8_io_vs_d(benchmark, run_figure, record_shape):
+    result = run_figure(benchmark, figure8)
+    print()
+    print(render_figure(result))
+    record_shape(benchmark, result)
+
+    for series in result.series:
+        # anatomy cheaper at the top of the sweep, with a widening gap
+        ratios = series.ratio()
+        assert ratios[-1] > ratios[0], series.label
+        assert ratios[-1] > 2.0, series.label
+        # both costs grow with d (wider tuples = more pages)
+        assert series.anatomy[-1] > series.anatomy[0], series.label
+        assert series.generalization[-1] > series.generalization[0], \
+            series.label

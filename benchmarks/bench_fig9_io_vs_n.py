@@ -1,0 +1,32 @@
+"""Paper Figure 9: I/O cost vs dataset cardinality n.
+
+Panels: OCC-5 and SAL-5; n sweeps the config's cardinalities; page size
+4096 bytes, 50-page memory.
+
+Paper's shape: anatomy's cost scales linearly with n (Theorem 3), while
+generalization behaves super-linearly; anatomy is cheaper throughout.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure9
+from repro.experiments.report import render_figure
+
+
+def test_fig9_io_vs_n(benchmark, run_figure, record_shape):
+    result = run_figure(benchmark, figure9)
+    print()
+    print(render_figure(result))
+    record_shape(benchmark, result)
+
+    for series in result.series:
+        xs = np.asarray(series.xs, dtype=float)
+        ana = np.asarray(series.anatomy, dtype=float)
+        gen = np.asarray(series.generalization, dtype=float)
+        # anatomy linear in n: near-perfect correlation with n
+        assert np.corrcoef(xs, ana)[0, 1] > 0.99, series.label
+        # generalization more expensive at every n
+        assert (gen > ana).all(), series.label
+        # the absolute gap grows with n
+        gaps = gen - ana
+        assert gaps[-1] > gaps[0], series.label

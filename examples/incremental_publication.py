@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Incremental publication: anatomizing a growing registry.
+
+Simulates a hospital registry receiving admissions in daily batches.
+Each day's release must stay l-diverse, and — critically — a tuple's
+QI-group never changes across releases, so publishing every day leaks
+nothing more than publishing once (for the grouping itself; see the
+module docstring of repro.core.incremental for scope).
+
+Run:  python examples/incremental_publication.py [days] [per_day] [l]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.incremental import IncrementalAnatomizer
+from repro.dataset.census import CensusDataset
+
+
+def main():
+    days = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    per_day = int(sys.argv[2]) if len(sys.argv) > 2 else 1_500
+    l = int(sys.argv[3]) if len(sys.argv) > 3 else 10
+
+    print(f"Simulating {days} daily batches of ~{per_day:,} admissions "
+          f"(l={l})\n")
+    census = CensusDataset(n=days * per_day, seed=42)
+    table = census.occ(4)
+    rows = list(table.iter_rows())
+    rng = np.random.default_rng(7)
+    rng.shuffle(rows)
+
+    inc = IncrementalAnatomizer(table.schema, l=l, seed=0)
+    print(f"{'day':>4} | {'arrived':>8} | {'new groups':>10} | "
+          f"{'published':>10} | {'buffered':>9} | {'breach bound':>12}")
+    print("-" * 66)
+    previous_hists = {}
+    for day in range(days):
+        batch = rows[day * per_day:(day + 1) * per_day]
+        sealed = inc.insert_codes(batch)
+        published = inc.publish()
+        bound = published.breach_probability_bound()
+        print(f"{day + 1:>4} | {len(batch):>8,} | {sealed:>10,} | "
+              f"{published.n:>10,} | {inc.buffered_count:>9,} | "
+              f"{bound:>11.1%}")
+
+        # verify release-over-release stability of sealed groups
+        for gid, hist in previous_hists.items():
+            assert published.st.group_histogram(gid) == hist, \
+                "a sealed group changed across releases!"
+        previous_hists = {
+            gid: published.st.group_histogram(gid)
+            for gid in range(1, published.st.group_count() + 1)}
+
+    report = inc.flush_report()
+    print(f"\nFinal state: {inc.group_count:,} immutable groups; "
+          f"{report['buffered']} tuples withheld (need {l} distinct "
+          f"sensitive values, have {report['distinct_values_waiting']} "
+          f"waiting).")
+    print("Every daily release was exactly l-diverse, and no tuple "
+          "ever moved between groups.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""I/O cost comparison on the simulated storage engine (Figures 8-9).
+
+Runs the paged Anatomize and the external Mondrian against the metered
+disk (4096-byte pages, 50-page buffer — the paper's setup) and prints the
+page I/O each algorithm performs as cardinality grows: anatomy linear,
+Mondrian super-linear.
+
+Run:  python examples/io_cost_demo.py [d] [max_n]
+"""
+
+import sys
+
+from repro.dataset.census import CensusDataset
+from repro.generalization.recoding import census_recoder
+from repro.storage.algorithms import paged_anatomize, paged_mondrian
+from repro.storage.engine import StorageEngine
+
+
+def main():
+    d = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    max_n = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+    cardinalities = [max_n * k // 5 for k in range(1, 6)]
+
+    print(f"Simulated disk: 4096-byte pages, 50-page LRU buffer; "
+          f"OCC-{d} views, l=10\n")
+    census = CensusDataset(n=max_n, seed=42)
+
+    header = (f"{'n':>8} | {'anatomy I/O':>12} | {'mondrian I/O':>13} | "
+              f"{'ratio':>6} | {'ana pages/1k tuples':>20}")
+    print(header)
+    print("-" * len(header))
+
+    for n in cardinalities:
+        table = census.sample_view(d, "Occupation", n, seed=0)
+
+        engine_a = StorageEngine()
+        res_a = paged_anatomize(engine_a, table, l=10, seed=0)
+
+        engine_m = StorageEngine()
+        res_m = paged_mondrian(engine_m, table, l=10,
+                               recoder=census_recoder())
+
+        ratio = res_m.io.total / res_a.io.total
+        per_1k = 1000 * res_a.io.total / n
+        print(f"{n:>8,} | {res_a.io.total:>12,} | {res_m.io.total:>13,} "
+              f"| {ratio:>5.1f}x | {per_1k:>20.1f}")
+
+    print("\nAnatomize performs a constant number of sequential passes "
+          "(Theorem 3: O(n/b) I/Os); Mondrian re-reads and re-writes "
+          "every tree level, so its cost grows super-linearly and the "
+          "gap widens with n and d.")
+
+
+if __name__ == "__main__":
+    main()

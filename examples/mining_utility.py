@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Mining on published data — the paper's Section 7 future work.
+
+Shows two downstream analyses an analyst can run on anatomized tables
+and how they compare against running them on a generalized table:
+
+1. reconstructing the Age x Occupation joint distribution
+   (contingency table) — anatomy keeps both marginals exact and the
+   joint close;
+2. training a naive-Bayes classifier to predict the sensitive
+   attribute — anatomy-trained models land between microdata-trained
+   and generalization-trained (per-tuple association is attenuated by
+   ~1/l, which is exactly what l-diversity promises to hide).
+
+Run:  python examples/mining_utility.py [n] [d] [l]
+"""
+
+import sys
+
+from repro.core.anatomize import anatomize
+from repro.dataset.census import CensusDataset
+from repro.generalization.mondrian import mondrian
+from repro.generalization.recoding import census_recoder
+from repro.mining import (
+    anatomy_contingency,
+    exact_contingency,
+    generalization_contingency,
+    kl_divergence,
+    marginal_error,
+    total_variation,
+    utility_comparison,
+)
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    d = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    l = int(sys.argv[3]) if len(sys.argv) > 3 else 10
+
+    print(f"CENSUS OCC-{d}, n={n:,}, l={l}\n")
+    census = CensusDataset(n=n, seed=42)
+    table = census.occ(d)
+    published = anatomize(table, l=l, seed=0)
+    generalized = mondrian(table, l=l, recoder=census_recoder())
+
+    print("Task 1: reconstruct the Age x Occupation joint distribution")
+    true = exact_contingency(table, "Age")
+    ana = anatomy_contingency(published, "Age")
+    gen = generalization_contingency(generalized, "Age")
+    print(f"{'source':>16} | {'TV distance':>12} | {'KL div.':>8} | "
+          f"{'marginal L1 (QI, sens)':>24}")
+    print("-" * 70)
+    for name, est in (("anatomy", ana), ("generalization", gen)):
+        qi_err, sens_err = marginal_error(true, est)
+        print(f"{name:>16} | {total_variation(true, est):>12.4f} | "
+              f"{kl_divergence(true, est):>8.4f} | "
+              f"({qi_err:.2e}, {sens_err:.2e})")
+    print("\nAnatomy releases both attributes exactly, so its marginals "
+          "are perfect; only the within-group joint is smoothed.\n")
+
+    print("Task 2: naive Bayes predicting Occupation from QI values")
+    scores = utility_comparison(table, l=l, seed=0)
+    for name in ("microdata", "anatomy", "generalization", "majority"):
+        bar = "#" * int(round(scores[name] * 200))
+        print(f"  trained on {name:>14}: {scores[name]:.3f}  {bar}")
+    print("\nOrdering: microdata >= anatomy >= generalization > "
+          "majority.  The microdata/anatomy gap is the price of hiding "
+          "per-tuple associations (the 1/l attenuation); the "
+          "anatomy/generalization gap is what exact QI values buy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Multiple sensitive attributes — the paper's future-work extension.
+
+Publishes a census-like microdata with *two* sensitive attributes
+(Occupation and Salary-class) as one QIT plus one ST per attribute, with
+a partition that is l-diverse on each attribute separately, and verifies
+the per-attribute inference bounds.
+
+Run:  python examples/multi_sensitive_demo.py [n] [l]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.multi_sensitive import (
+    MultiSensitiveTable,
+    multi_anatomize,
+)
+from repro.dataset.census import (
+    CENSUS_ATTRIBUTES,
+    census_attribute,
+    generate_census_codes,
+)
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    l = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    print(f"Generating {n:,} census tuples with TWO sensitive "
+          f"attributes (Occupation, Salary-class); l = {l}\n")
+    codes = generate_census_codes(n, seed=42)
+    names = [s.name for s in CENSUS_ATTRIBUTES]
+
+    qi_names = ["Age", "Gender", "Education", "Marital"]
+    sens_names = ["Occupation", "Salary-class"]
+    columns = {
+        name: np.ascontiguousarray(codes[:, names.index(name)])
+        for name in qi_names + sens_names
+    }
+    table = MultiSensitiveTable(
+        [census_attribute(a) for a in qi_names],
+        [census_attribute(a) for a in sens_names],
+        columns)
+
+    published = multi_anatomize(table, l=l, seed=0)
+    partition = published.partition
+    sizes = [g.size for g in partition]
+    print(f"Partition: {partition.m:,} QI-groups, sizes "
+          f"{min(sizes)}..{max(sizes)}")
+
+    print("\nPublication: one QIT + one ST per sensitive attribute")
+    print(f"  QIT rows: {published.qit.n:,}")
+    for name, st in published.sts.items():
+        bound = published.breach_probability_bound(name)
+        print(f"  ST[{name}]: {len(st):,} records; per-attribute breach "
+              f"bound {bound:.1%} (requirement: <= {1 / l:.1%})")
+
+    print("\nSample ST records for group 1:")
+    for name, st in published.sts.items():
+        hist = st.group_histogram(1)
+        sample = ", ".join(
+            f"{st.schema.sensitive.decode(c)}x{k}"
+            for c, k in sorted(hist.items())[:4])
+        print(f"  {name}: {sample} ...")
+
+    print("\nAn adversary who knows a target's QI values can pin "
+          "neither the occupation nor the salary class above "
+          f"{1 / l:.0%} — the Theorem 1 argument applies per "
+          "attribute.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The paper's Figure 2: per-tuple pdf reconstruction, rendered.
+
+Shows, for tuple 1 of the hospital microdata, the three pdfs of
+Section 4 in the Age-Disease plane: the actual point mass (Eq. 9), the
+generalization reconstruction smeared over the age interval (Eq. 10),
+and the anatomy reconstruction — two exact-age spikes (Eq. 11) — plus
+each one's reconstruction error Err_t (Eq. 12).
+
+Run:  python examples/pdf_reconstruction.py
+"""
+
+from repro.core.partition import Partition
+from repro.core.pdf import (
+    anatomy_error,
+    anatomy_pdf,
+    generalization_error,
+    true_pdf,
+)
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS, hospital_table
+
+
+def bar(prob: float, width: int = 36) -> str:
+    return "#" * max(1, round(prob * width)) if prob > 0 else ""
+
+
+def main():
+    table = hospital_table()
+    schema = table.schema
+    disease = schema.sensitive
+    partition = Partition(table, PAPER_PARTITION_GROUPS)
+    group1 = partition[0]
+
+    t1_age = 23
+    t1_disease = "pneumonia"
+    t1_codes = (schema.attribute("Age").encode(t1_age),
+                disease.encode(t1_disease))
+
+    print("Tuple 1 of the microdata: (Age 23, pneumonia)\n")
+
+    print("(a) actual pdf G_t (Eq. 9): a point mass")
+    actual = true_pdf(t1_codes)
+    print(f"    (23, pneumonia)  p=1.00  {bar(1.0)}\n")
+
+    print("(b) reconstructed from the GENERALIZED table (Eq. 10):")
+    age_lo, age_hi = 21, 60
+    width = age_hi - age_lo + 1
+    print(f"    uniform 1/{width} over Age in [{age_lo}, {age_hi}] x "
+          f"pneumonia:")
+    print(f"    every cell        p={1 / width:.4f}  "
+          f"{bar(1 / width)}")
+    err_gen = generalization_error(width)
+    print(f"    Err_t = 1 - 1/{width} = {err_gen:.4f}\n")
+
+    print("(c) reconstructed from the ANATOMIZED tables (Eq. 11):")
+    hist = group1.sensitive_histogram()
+    pdf = anatomy_pdf((t1_codes[0],), hist)
+    for point, mass in sorted(pdf.masses.items(),
+                              key=lambda kv: -kv[1]):
+        name = disease.decode(point[-1])
+        print(f"    (23, {name:<10})  p={mass:.2f}  {bar(mass)}")
+    err_ana = anatomy_error(hist, t1_codes[1])
+    print(f"    Err_t = {err_ana:.4f}   (the paper's 0.5)\n")
+
+    print(f"Anatomy's reconstruction error is "
+          f"{err_gen / err_ana:.2f}x smaller on this tuple — the "
+          f"age coordinate is exact, only the disease is uncertain.")
+    _ = actual
+
+
+if __name__ == "__main__":
+    main()

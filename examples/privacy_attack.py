@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Adversary simulation: the paper's Bob / Alice / Emily attacks.
+
+Replays Section 3's privacy analysis against real published tables:
+
+1. Bob (unique QI values) — tuple-level attack, Corollary 1.
+2. Alice (QI values shared with Bella) — individual-level attack,
+   Theorem 1's two-scenario averaging.
+3. The voter-registration list (Table 5) — membership inference
+   (assumption A2), where anatomy and generalization differ: anatomy
+   rules Emily out; generalization cannot.
+
+Run:  python examples/privacy_attack.py
+"""
+
+from repro.core.partition import Partition
+from repro.core.privacy import AnatomyAdversary
+from repro.core.tables import AnatomizedTables
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS, hospital_table
+from repro.generalization.generalized_table import GeneralizedTable
+from repro.generalization.privacy import GeneralizationAdversary
+
+
+def show_posterior(label, posterior, sensitive):
+    print(f"  {label}:")
+    for code, prob in sorted(posterior.items(),
+                             key=lambda kv: -kv[1]):
+        print(f"    {sensitive.decode(code):>12}: {prob:.0%}")
+
+
+def main():
+    table = hospital_table()
+    sensitive = table.schema.sensitive
+    partition = Partition(table, PAPER_PARTITION_GROUPS)
+    anatomy = AnatomizedTables.from_partition(partition)
+    generalized = GeneralizedTable.from_partition(partition)
+
+    ana = AnatomyAdversary(anatomy)
+    gen = GeneralizationAdversary(generalized)
+
+    print("=" * 64)
+    print("Attack 1: Bob (age 23, M, zipcode 11000) — unique QI values")
+    print("=" * 64)
+    bob = ana.encode_qi((23, "M", 11000))
+    print(f"QIT rows matching Bob: {len(ana.matching_rows(bob))}")
+    show_posterior("posterior from anatomized tables",
+                   ana.posterior(bob), sensitive)
+    pneumonia = sensitive.encode("pneumonia")
+    print(f"  breach probability for the true disease (pneumonia): "
+          f"{ana.breach_probability(bob, pneumonia):.0%}  (bound: 1/l = "
+          f"50%)")
+
+    print()
+    print("=" * 64)
+    print("Attack 2: Alice (65, F, 25000) — shares QI values with Bella")
+    print("=" * 64)
+    alice = ana.encode_qi((65, "F", 25000))
+    rows = ana.matching_rows(alice)
+    print(f"QIT rows matching Alice: {len(rows)} (the adversary weighs "
+          f"each scenario 1/{len(rows)})")
+    show_posterior("individual-level posterior (Theorem 1)",
+                   ana.posterior(alice), sensitive)
+    flu = sensitive.encode("flu")
+    print(f"  breach probability for the true disease (flu): "
+          f"{ana.breach_probability(alice, flu):.0%}")
+
+    print()
+    print("=" * 64)
+    print("Attack 3: membership inference with the voter list (Table 5)")
+    print("=" * 64)
+    registry_people = {
+        "Ada": (61, "F", 54000),
+        "Alice": (65, "F", 25000),
+        "Bella": (65, "F", 25000),
+        "Emily": (67, "F", 33000),
+        "Stephanie": (70, "F", 30000),
+    }
+    registry = [ana.encode_qi(p) for p in registry_people.values()]
+
+    emily = ana.encode_qi(registry_people["Emily"])
+    print(f"Emily present per anatomy?        "
+          f"{'cannot be ruled out' if ana.is_present(emily) else 'ruled out (exact QI values absent from QIT)'}")
+    print(f"Emily present per generalization? "
+          f"{'cannot be ruled out (her QI values fall in a published box)' if gen.is_plausibly_present(emily) else 'ruled out'}")
+
+    pr_ana = ana.membership_probability(registry, alice)
+    pr_gen = gen.membership_probability(registry, alice)
+    print(f"\nPr_A2(Alice in microdata):  anatomy = {pr_ana:.0%}, "
+          f"generalization = {pr_gen:.0%}")
+
+    overall_ana = ana.overall_breach_probability(registry, alice, flu)
+    overall_gen = gen.overall_breach_probability(registry, alice, flu)
+    print(f"Overall breach (Formula 3): anatomy = {overall_ana:.0%}, "
+          f"generalization = {overall_gen:.0%}")
+    print("\nBoth stay within the 1/l = 50% bound; generalization's "
+          "coarser boxes buy it a lower membership factor — the one "
+          "advantage Section 3.3 concedes, which the publisher cannot "
+          "rely on.")
+
+
+if __name__ == "__main__":
+    main()

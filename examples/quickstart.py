@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Quickstart: anatomize the paper's hospital microdata (Tables 1-3).
+
+Reproduces the walkthrough of Sections 1.1-1.2: publish the 8-patient
+table with anatomy, print the resulting QIT and ST, and show why query A
+is answered exactly from the anatomized tables but badly from a
+generalized table.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import anatomize, hospital_table
+from repro.core.partition import Partition
+from repro.core.tables import AnatomizedTables
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.generalization.generalized_table import GeneralizedTable
+from repro.query.estimators import (
+    AnatomyEstimator,
+    ExactEvaluator,
+    GeneralizationEstimator,
+)
+from repro.query.predicates import CountQuery
+
+
+def print_microdata(table):
+    print("Microdata (paper Table 1):")
+    print(f"  {'Age':>4} {'Sex':>4} {'Zipcode':>8} {'Disease':>12}")
+    for i in range(len(table)):
+        age, sex, zipcode, disease = table.decode_row(i)
+        print(f"  {age:>4} {sex:>4} {zipcode:>8} {disease:>12}")
+    print()
+
+
+def print_publication(published):
+    print("Quasi-identifier table (QIT, paper Table 3a):")
+    print(f"  {'Age':>4} {'Sex':>4} {'Zipcode':>8} {'Group-ID':>9}")
+    for i in range(published.qit.n):
+        age, sex, zipcode, gid = published.qit.decode_row(i)
+        print(f"  {age:>4} {sex:>4} {zipcode:>8} {gid:>9}")
+    print()
+    print("Sensitive table (ST, paper Table 3b):")
+    print(f"  {'Group-ID':>9} {'Disease':>12} {'Count':>6}")
+    for i in range(len(published.st)):
+        gid, disease, count = published.st.decode_record(i)
+        print(f"  {gid:>9} {disease:>12} {count:>6}")
+    print()
+
+
+def query_a(schema):
+    """The paper's query A: COUNT(*) WHERE Disease = 'pneumonia'
+    AND Age <= 30 AND Zipcode IN [10001, 20000]."""
+    age = schema.attribute("Age")
+    zipcode = schema.attribute("Zipcode")
+    return CountQuery(
+        schema,
+        {"Age": [c for c, v in enumerate(age.values) if v <= 30],
+         "Zipcode": [c for c, v in enumerate(zipcode.values)
+                     if 10001 <= v <= 20000]},
+        [schema.sensitive.encode("pneumonia")])
+
+
+def main():
+    table = hospital_table()
+    print_microdata(table)
+
+    # Publish with the paper's own 2-diverse grouping so the output
+    # matches Tables 3a/3b exactly; `anatomize(table, l=2)` computes a
+    # grouping automatically.
+    partition = Partition(table, PAPER_PARTITION_GROUPS)
+    published = AnatomizedTables.from_partition(partition)
+    print_publication(published)
+
+    print(f"Privacy: adversary's best inference probability = "
+          f"{published.breach_probability_bound():.0%} (l = 2)\n")
+
+    # The Section 1 aggregate-query comparison.
+    q = query_a(table.schema)
+    actual = ExactEvaluator(table).estimate(q)
+    ana = AnatomyEstimator(published).estimate(q)
+    generalized = GeneralizedTable.from_partition(partition)
+    gen = GeneralizationEstimator(generalized).estimate(q)
+
+    print("Query A: COUNT(*) WHERE Disease='pneumonia' AND Age<=30 "
+          "AND Zipcode IN [10001, 20000]")
+    print(f"  actual result (microdata):          {actual:.2f}")
+    print(f"  estimate from anatomized tables:    {ana:.2f}")
+    print(f"  estimate from generalized table:    {gen:.2f}")
+    print()
+    print("Anatomy answers exactly; generalization's uniform assumption "
+          "is several times off.")
+
+    # And the fully automatic pipeline:
+    auto = anatomize(table, l=2, seed=0)
+    print(f"\nAutomatic Anatomize at l=2: {auto.st.group_count()} groups, "
+          f"breach bound {auto.breach_probability_bound():.0%}")
+
+
+if __name__ == "__main__":
+    main()

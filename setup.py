@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+editable-install path (`pip install -e . --no-use-pep517`) on systems
+where PEP 517 builds cannot run (e.g. offline hosts missing `wheel`).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,114 @@
+"""repro — a reproduction of "Anatomy: Simple and Effective Privacy
+Preservation" (Xiao & Tao, VLDB 2006).
+
+Anatomy publishes sensitive microdata as two tables — a quasi-identifier
+table (QIT) with exact QI values plus group ids, and a sensitive table
+(ST) with per-group sensitive-value histograms — derived from an l-diverse
+partition.  This caps an adversary's inference probability at ``1/l``
+while preserving the exact QI distribution for aggregate analysis.
+
+Quickstart
+----------
+>>> from repro import anatomize, hospital_table
+>>> published = anatomize(hospital_table(), l=2)
+>>> published.partition.is_l_diverse(2)
+True
+>>> published.breach_probability_bound()
+0.5
+
+Package map
+-----------
+* :mod:`repro.core` — the anatomy technique itself (algorithm, published
+  tables, privacy guarantees, RCE theory).
+* :mod:`repro.generalization` — the Mondrian generalization baseline.
+* :mod:`repro.dataset` — columnar tables, taxonomies, the synthetic
+  CENSUS population, and the paper's worked example.
+* :mod:`repro.query` — COUNT workloads and the two estimators.
+* :mod:`repro.storage` — the I/O-metered paged storage engine.
+* :mod:`repro.experiments` — drivers for every figure in the paper.
+"""
+
+from repro.core import (
+    AnatomizedTables,
+    AnatomyAdversary,
+    FrequencyLDiversity,
+    Partition,
+    anatomize,
+    anatomize_partition,
+    anatomize_rce_formula,
+    anatomy_rce,
+    check_eligibility,
+    max_feasible_l,
+    multi_anatomize,
+    rce_lower_bound,
+)
+from repro.dataset import (
+    Attribute,
+    AttributeKind,
+    CensusDataset,
+    Schema,
+    Table,
+    hospital_table,
+)
+from repro.exceptions import (
+    EligibilityError,
+    PartitionError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+from repro.generalization import (
+    GeneralizationAdversary,
+    GeneralizedTable,
+    mondrian,
+    mondrian_partition,
+)
+from repro.query import (
+    AnatomyEstimator,
+    CountQuery,
+    ExactEvaluator,
+    GeneralizationEstimator,
+    evaluate_workload,
+    make_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnatomizedTables",
+    "AnatomyAdversary",
+    "AnatomyEstimator",
+    "Attribute",
+    "AttributeKind",
+    "CensusDataset",
+    "CountQuery",
+    "EligibilityError",
+    "ExactEvaluator",
+    "FrequencyLDiversity",
+    "GeneralizationAdversary",
+    "GeneralizationEstimator",
+    "GeneralizedTable",
+    "Partition",
+    "PartitionError",
+    "QueryError",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "StorageError",
+    "Table",
+    "__version__",
+    "anatomize",
+    "anatomize_partition",
+    "anatomize_rce_formula",
+    "anatomy_rce",
+    "check_eligibility",
+    "evaluate_workload",
+    "hospital_table",
+    "make_workload",
+    "max_feasible_l",
+    "mondrian",
+    "mondrian_partition",
+    "multi_anatomize",
+    "rce_lower_bound",
+]

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the publisher / analyst / auditor workflows:
+
+* ``generate``   — write a synthetic CENSUS microdata view to CSV.
+* ``anatomize``  — read microdata CSV, publish QIT + ST CSVs.
+* ``verify``     — audit a published QIT/ST pair against an l target.
+* ``attack``     — run the Theorem 1 adversary against a publication.
+* ``experiment`` — regenerate one of the paper's figures and print it.
+
+Every command works on plain CSVs so the tool composes with anything;
+schemas are inferred from the microdata file
+(:func:`repro.dataset.io.infer_schema_from_csv`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.anatomize import anatomize
+from repro.core.privacy import AnatomyAdversary
+from repro.dataset.io import (
+    infer_schema_from_csv,
+    load_anatomized,
+    load_table,
+    save_anatomized,
+    save_table,
+)
+from repro.exceptions import ReproError
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.dataset.census import CensusDataset
+
+    dataset = CensusDataset(n=args.n, seed=args.seed)
+    table = dataset.view(args.d, args.sensitive)
+    save_table(table, args.out)
+    print(f"wrote {len(table):,} tuples ({args.d} QI attributes + "
+          f"{args.sensitive}) to {args.out}")
+    return 0
+
+
+def _cmd_anatomize(args: argparse.Namespace) -> int:
+    schema = infer_schema_from_csv(args.microdata)
+    table = load_table(schema, args.microdata)
+    published = anatomize(table, l=args.l, seed=args.seed)
+    save_anatomized(published, args.qit, args.st)
+    print(f"anatomized {len(table):,} tuples at l={args.l}: "
+          f"{published.st.group_count():,} QI-groups")
+    print(f"  QIT -> {args.qit}")
+    print(f"  ST  -> {args.st}")
+    print(f"  adversary's max inference probability: "
+          f"{published.breach_probability_bound():.2%}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    schema = infer_schema_from_csv(args.microdata)
+    published = load_anatomized(schema, args.qit, args.st)
+    bound = published.breach_probability_bound()
+    target = 1.0 / args.l
+    ok = bound <= target + 1e-12
+    print(f"groups: {published.st.group_count():,}; tuples: "
+          f"{published.n:,}")
+    print(f"measured breach bound: {bound:.4f} "
+          f"(target <= {target:.4f} for l={args.l})")
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    schema = infer_schema_from_csv(args.microdata)
+    published = load_anatomized(schema, args.qit, args.st)
+    adversary = AnatomyAdversary(published)
+    values = args.qi_values
+    if len(values) != schema.d:
+        print(f"error: expected {schema.d} QI values "
+              f"({', '.join(schema.qi_names)}), got {len(values)}",
+              file=sys.stderr)
+        return 2
+    decoded = []
+    for attr, text in zip(schema.qi_attributes, values):
+        candidate: object = text
+        if candidate not in attr:
+            try:
+                candidate = int(text)
+            except ValueError:
+                pass
+        decoded.append(candidate)
+    try:
+        codes = adversary.encode_qi(decoded)
+        posterior = adversary.posterior(codes)
+    except ReproError as exc:
+        print(f"attack failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"target QI values: {dict(zip(schema.qi_names, decoded))}")
+    print("adversary's posterior over the sensitive attribute:")
+    for code, prob in sorted(posterior.items(), key=lambda kv: -kv[1]):
+        print(f"  {schema.sensitive.decode(code)}: {prob:.2%}")
+    print(f"max inference probability: {max(posterior.values()):.2%}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.config import DEFAULT_CONFIG, SMOKE_CONFIG
+    from repro.experiments.figures import ALL_FIGURES
+    from repro.experiments.report import render_figure
+
+    config = SMOKE_CONFIG if args.scale == "smoke" else DEFAULT_CONFIG
+    driver = ALL_FIGURES[args.figure]
+    result = driver(config)
+    print(render_figure(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Anatomy (Xiao & Tao, VLDB 2006) — privacy-"
+                    "preserving data publication toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate",
+                       help="write a synthetic CENSUS view to CSV")
+    p.add_argument("out", help="output CSV path")
+    p.add_argument("--n", type=int, default=10_000,
+                   help="number of tuples (default 10000)")
+    p.add_argument("--d", type=int, default=5,
+                   help="number of QI attributes, 1-7 (default 5)")
+    p.add_argument("--sensitive", default="Occupation",
+                   choices=["Occupation", "Salary-class"])
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("anatomize",
+                       help="publish microdata CSV as QIT + ST CSVs")
+    p.add_argument("microdata", help="input microdata CSV")
+    p.add_argument("qit", help="output QIT CSV")
+    p.add_argument("st", help="output ST CSV")
+    p.add_argument("--l", type=int, default=10,
+                   help="diversity parameter (default 10)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_anatomize)
+
+    p = sub.add_parser("verify",
+                       help="audit a QIT/ST pair against an l target")
+    p.add_argument("microdata",
+                   help="the original microdata CSV (schema source)")
+    p.add_argument("qit")
+    p.add_argument("st")
+    p.add_argument("--l", type=int, default=10)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("attack",
+                       help="run the Theorem 1 adversary on a "
+                            "publication")
+    p.add_argument("microdata",
+                   help="the original microdata CSV (schema source)")
+    p.add_argument("qit")
+    p.add_argument("st")
+    p.add_argument("qi_values", nargs="+",
+                   help="the target individual's QI values, in schema "
+                        "order")
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("experiment",
+                       help="regenerate one of the paper's figures")
+    p.add_argument("figure", choices=["fig4", "fig5", "fig6", "fig7",
+                                      "fig8", "fig9"])
+    p.add_argument("--scale", choices=["smoke", "default"],
+                   default="smoke",
+                   help="experiment grid size (default: smoke)")
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

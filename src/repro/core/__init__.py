@@ -1,0 +1,98 @@
+"""The paper's primary contribution: anatomy.
+
+* :mod:`repro.core.partition` — partitions and QI-groups (Definition 1).
+* :mod:`repro.core.diversity` — l-diversity instantiations (Definition 2
+  and the Machanavajjhala variants) and the eligibility condition.
+* :mod:`repro.core.anatomize` — the Anatomize algorithm (Figure 3).
+* :mod:`repro.core.tables` — the published QIT/ST pair (Definition 3) and
+  the natural join (Lemma 1).
+* :mod:`repro.core.privacy` — the adversary model (Corollary 1, Theorem 1,
+  the A1/A2 membership analysis of Section 3.3).
+* :mod:`repro.core.pdf` / :mod:`repro.core.rce` — correlation-preservation
+  theory (Equations 9-13, Theorems 2 and 4).
+* :mod:`repro.core.multi_sensitive` — the multiple-sensitive-attribute
+  extension (Section 7 future work).
+"""
+
+from repro.core.anatomize import anatomize, anatomize_partition
+from repro.core.incremental import IncrementalAnatomizer
+from repro.core.worlds import SampledWorldEstimator, sample_world
+from repro.core.diversity import (
+    DiversityRequirement,
+    EntropyLDiversity,
+    FrequencyLDiversity,
+    KAnonymity,
+    RecursiveCLDiversity,
+    check_eligibility,
+    max_feasible_l,
+)
+from repro.core.multi_sensitive import (
+    MultiAnatomizedTables,
+    MultiSensitiveTable,
+    multi_anatomize,
+    multi_anatomize_partition,
+)
+from repro.core.partition import Partition, QIGroup
+from repro.core.pdf import (
+    SparsePdf,
+    anatomy_error,
+    anatomy_pdf,
+    generalization_error,
+    true_pdf,
+)
+from repro.core.privacy import (
+    AnatomyAdversary,
+    verify_individual_level_guarantee,
+    verify_tuple_level_guarantee,
+)
+from repro.core.rce import (
+    anatomize_optimality_factor,
+    anatomize_rce_formula,
+    anatomy_rce,
+    generalization_rce,
+    group_rce,
+    rce_lower_bound,
+)
+from repro.core.tables import (
+    AnatomizedTables,
+    QuasiIdentifierTable,
+    SensitiveTable,
+)
+
+__all__ = [
+    "AnatomizedTables",
+    "AnatomyAdversary",
+    "DiversityRequirement",
+    "EntropyLDiversity",
+    "FrequencyLDiversity",
+    "IncrementalAnatomizer",
+    "KAnonymity",
+    "MultiAnatomizedTables",
+    "MultiSensitiveTable",
+    "Partition",
+    "QIGroup",
+    "QuasiIdentifierTable",
+    "RecursiveCLDiversity",
+    "SampledWorldEstimator",
+    "SensitiveTable",
+    "SparsePdf",
+    "anatomize",
+    "anatomize_optimality_factor",
+    "anatomize_partition",
+    "anatomize_rce_formula",
+    "anatomy_error",
+    "anatomy_pdf",
+    "anatomy_rce",
+    "check_eligibility",
+    "generalization_error",
+    "generalization_rce",
+    "group_rce",
+    "max_feasible_l",
+    "multi_anatomize",
+    "multi_anatomize_partition",
+    "rce_lower_bound",
+    "sample_world",
+    "true_pdf",
+    "verify_individual_level_guarantee",
+    "verify_tuple_level_guarantee",
+]

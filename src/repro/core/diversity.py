@@ -1,0 +1,217 @@
+"""l-diversity requirements and the eligibility condition.
+
+The paper adopts the *frequency* instantiation of l-diversity
+(Definition 2): a partition is l-diverse when, in each QI-group, at most
+``1/l`` of the tuples carry the most frequent sensitive value.  The paper
+notes (Section 3.1) that Machanavajjhala et al. define further
+instantiations — entropy l-diversity and recursive (c, l)-diversity — to
+resist stronger background knowledge, and that anatomy extends to them
+directly.  We implement all three so the library covers that extension.
+
+The *eligibility condition* (proof of Property 1) governs when any l-diverse
+partition exists at all: at most ``n/l`` tuples may share a single sensitive
+value.  :func:`check_eligibility` enforces it up front with a precise error.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.partition import Partition, QIGroup
+from repro.dataset.table import Table
+from repro.exceptions import EligibilityError, ReproError
+
+
+class DiversityRequirement(ABC):
+    """A per-group privacy predicate plus its feasibility precondition.
+
+    Two evaluation surfaces: :meth:`group_ok` for materialized
+    :class:`~repro.core.partition.QIGroup` objects, and
+    :meth:`counts_ok` for a raw sensitive-value histogram — the form
+    partitioning algorithms (Mondrian's split test) have in hand before
+    any group exists.
+    """
+
+    @abstractmethod
+    def counts_ok(self, counts: "np.ndarray") -> bool:
+        """Whether a group with this sensitive histogram (array of
+        per-value counts, zeros allowed) satisfies the requirement."""
+
+    def group_ok(self, group: QIGroup) -> bool:
+        """Whether a single QI-group satisfies the requirement."""
+        hist = group.sensitive_histogram()
+        counts = np.asarray(list(hist.values()), dtype=np.int64)
+        return self.counts_ok(counts)
+
+    def partition_ok(self, partition: Partition) -> bool:
+        """Whether every group of the partition satisfies the requirement."""
+        return all(self.group_ok(g) for g in partition)
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable name, e.g. ``"4-diversity"``."""
+
+
+class KAnonymity(DiversityRequirement):
+    """Plain k-anonymity: each QI-group has at least ``k`` tuples.
+
+    Included as the weaker requirement the paper argues against
+    (Section 1): a k-anonymous group can still be dominated by one
+    sensitive value, so it bounds re-identification but not attribute
+    inference.  Useful for the baselines and the requirement-comparison
+    tests.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ReproError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+
+    def counts_ok(self, counts: np.ndarray) -> bool:
+        return int(np.asarray(counts).sum()) >= self.k
+
+    def describe(self) -> str:
+        return f"{self.k}-anonymity"
+
+    def __repr__(self) -> str:
+        return f"KAnonymity(k={self.k})"
+
+
+class FrequencyLDiversity(DiversityRequirement):
+    """The paper's Definition 2: ``c_j(v_max) / |QI_j| <= 1/l``.
+
+    Machanavajjhala et al. call this instantiation "recursive
+    (1/(l-1), 2)-diversity"; the paper adopts it as its working privacy
+    model, so this class is the default requirement across the library.
+    """
+
+    def __init__(self, l: int) -> None:
+        if l < 1:
+            raise ReproError(f"l must be >= 1, got {l}")
+        self.l = int(l)
+
+    def counts_ok(self, counts: np.ndarray) -> bool:
+        counts = np.asarray(counts)
+        size = int(counts.sum())
+        return size >= self.l and int(counts.max()) * self.l <= size
+
+    def describe(self) -> str:
+        return f"{self.l}-diversity (frequency)"
+
+    def __repr__(self) -> str:
+        return f"FrequencyLDiversity(l={self.l})"
+
+
+class EntropyLDiversity(DiversityRequirement):
+    """Entropy l-diversity: ``entropy(group) >= log(l)``.
+
+    The entropy is over the group's sensitive-value distribution.  This is
+    strictly stronger than frequency l-diversity for the same ``l``.
+    """
+
+    def __init__(self, l: float) -> None:
+        if l < 1:
+            raise ReproError(f"l must be >= 1, got {l}")
+        self.l = float(l)
+
+    def counts_ok(self, counts: np.ndarray) -> bool:
+        counts = np.asarray(counts, dtype=np.float64)
+        counts = counts[counts > 0]
+        if not len(counts):
+            return False
+        probs = counts / counts.sum()
+        entropy = float(-(probs * np.log(probs)).sum())
+        return entropy >= math.log(self.l) - 1e-12
+
+    def describe(self) -> str:
+        return f"entropy {self.l:g}-diversity"
+
+    def __repr__(self) -> str:
+        return f"EntropyLDiversity(l={self.l})"
+
+
+class RecursiveCLDiversity(DiversityRequirement):
+    """Recursive (c, l)-diversity of Machanavajjhala et al.
+
+    Let ``r_1 >= r_2 >= ... >= r_lambda`` be the sorted sensitive-value
+    counts in a group.  The group is (c, l)-diverse when
+    ``r_1 < c * (r_l + r_{l+1} + ... + r_lambda)``; groups with fewer than
+    ``l`` distinct sensitive values fail.
+    """
+
+    def __init__(self, c: float, l: int) -> None:
+        if c <= 0:
+            raise ReproError(f"c must be positive, got {c}")
+        if l < 1:
+            raise ReproError(f"l must be >= 1, got {l}")
+        self.c = float(c)
+        self.l = int(l)
+
+    def counts_ok(self, counts: np.ndarray) -> bool:
+        values = sorted((int(c) for c in np.asarray(counts) if c > 0),
+                        reverse=True)
+        if len(values) < self.l:
+            return False
+        tail = sum(values[self.l - 1:])
+        return values[0] < self.c * tail
+
+    def describe(self) -> str:
+        return f"recursive ({self.c:g}, {self.l})-diversity"
+
+    def __repr__(self) -> str:
+        return f"RecursiveCLDiversity(c={self.c}, l={self.l})"
+
+
+def max_feasible_l(table: Table) -> float:
+    """The largest ``l`` for which an l-diverse partition of ``table`` can
+    exist: ``n / max_v count(v)``.
+
+    Follows directly from the eligibility condition.  Returns ``inf`` for an
+    empty table.
+    """
+    if len(table) == 0:
+        return float("inf")
+    hist = table.sensitive_histogram()
+    return len(table) / max(hist.values())
+
+
+def check_eligibility(table: Table, l: int) -> None:
+    """Enforce the eligibility condition for l-diversity.
+
+    An l-diverse partition of ``T`` exists iff at most ``n/l`` tuples share
+    any single sensitive value (proof of Property 1 in the paper).  When
+    violated, no publication method — anatomy or generalization — can cap an
+    adversary's inference probability at ``1/l``.
+
+    Raises
+    ------
+    EligibilityError
+        With the offending sensitive value, its count, and the ``n/l``
+        limit.
+    ReproError
+        If ``l`` is not a positive integer or exceeds the table size.
+    """
+    if l < 1:
+        raise ReproError(f"l must be >= 1, got {l}")
+    n = len(table)
+    if n == 0:
+        raise EligibilityError("cannot anonymize an empty table")
+    if l > n:
+        raise EligibilityError(
+            f"l={l} exceeds table cardinality n={n}; no partition can "
+            f"have a group with {l} distinct sensitive values",
+            count=n, limit=n / l)
+    hist = table.sensitive_histogram()
+    limit = n / l
+    worst_code, worst_count = max(hist.items(), key=lambda kv: kv[1])
+    if worst_count > limit:
+        value = table.schema.sensitive.decode(worst_code)
+        raise EligibilityError(
+            f"eligibility violated: sensitive value {value!r} appears in "
+            f"{worst_count} of {n} tuples ({worst_count / n:.1%}), above "
+            f"the n/l = {limit:.1f} bound for l={l}; the maximum feasible "
+            f"l is {n / worst_count:.2f}",
+            value=value, count=worst_count, limit=limit)

@@ -1,0 +1,319 @@
+"""Anatomy for multiple sensitive attributes (the paper's future work).
+
+Section 7 names extending anatomy to multiple sensitive attributes as an
+open direction.  This module implements the natural extension:
+
+* the microdata carries ``p`` sensitive attributes ``As_1 .. As_p``;
+* a partition is **l-diverse per attribute** when, for every group and
+  every sensitive attribute, at most ``1/l`` of the group's tuples share
+  the attribute's most frequent value;
+* the publication is one QIT (as before) plus **one ST per sensitive
+  attribute**, each a per-group histogram of that attribute.
+
+With such a partition, Theorem 1's argument applies attribute-by-attribute:
+an adversary who knows the target's QI values infers any *single* sensitive
+attribute's value with probability at most ``1/l``.  (Joint inference
+across attributes is outside the paper's model; the per-attribute STs do
+not reveal the within-group joint distribution.)
+
+The algorithm generalizes Anatomize's group-creation: groups are filled by
+drawing from the largest buckets of the *most constrained* attribute while
+rejecting candidates that would collide with an already-chosen value on any
+other sensitive attribute.  Feasibility is no longer guaranteed by the
+per-attribute eligibility conditions alone (the joint structure matters),
+so the builder falls back to a frequency-respecting placement for tuples it
+cannot place with all-distinct values, and verifies the final partition —
+raising if the instance defeats the heuristic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.partition import Partition
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.exceptions import EligibilityError, PartitionError, SchemaError
+
+
+class MultiSensitiveTable:
+    """Microdata with several sensitive attributes.
+
+    Internally wraps a :class:`~repro.dataset.table.Table` whose schema
+    holds the first sensitive attribute, plus extra sensitive columns.
+    """
+
+    __slots__ = ("qi_attributes", "sensitive_attributes", "base",
+                 "_sensitive_columns")
+
+    def __init__(self, qi_attributes: Sequence[Attribute],
+                 sensitive_attributes: Sequence[Attribute],
+                 columns: dict[str, np.ndarray]) -> None:
+        if not sensitive_attributes:
+            raise SchemaError("need at least one sensitive attribute")
+        self.qi_attributes = tuple(qi_attributes)
+        self.sensitive_attributes = tuple(sensitive_attributes)
+        base_schema = Schema(self.qi_attributes,
+                             self.sensitive_attributes[0])
+        base_cols = {a.name: columns[a.name]
+                     for a in base_schema.attributes}
+        self.base = Table(base_schema, base_cols)
+        self._sensitive_columns: dict[str, np.ndarray] = {}
+        n = len(self.base)
+        for attr in self.sensitive_attributes:
+            col = np.asarray(columns[attr.name], dtype=np.int32)
+            if len(col) != n:
+                raise SchemaError(
+                    f"sensitive column {attr.name!r} length mismatch")
+            if len(col) and (col.min() < 0 or col.max() >= attr.size):
+                raise SchemaError(
+                    f"sensitive column {attr.name!r} has out-of-domain "
+                    f"codes")
+            self._sensitive_columns[attr.name] = col
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    @property
+    def p(self) -> int:
+        """Number of sensitive attributes."""
+        return len(self.sensitive_attributes)
+
+    def sensitive_column(self, name: str) -> np.ndarray:
+        try:
+            return self._sensitive_columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"{name!r} is not a sensitive attribute") from None
+
+    def sensitive_matrix(self) -> np.ndarray:
+        """``(n, p)`` matrix of sensitive codes, attribute order as
+        declared."""
+        return np.column_stack([
+            self._sensitive_columns[a.name]
+            for a in self.sensitive_attributes])
+
+
+def check_multi_eligibility(table: MultiSensitiveTable, l: int) -> None:
+    """Per-attribute eligibility: every sensitive attribute individually
+    satisfies the ``n/l`` condition.
+
+    Necessary (not sufficient) for a per-attribute l-diverse partition.
+    """
+    n = len(table)
+    if l < 1 or l > n:
+        raise EligibilityError(f"l={l} infeasible for n={n}")
+    for attr in table.sensitive_attributes:
+        col = table.sensitive_column(attr.name)
+        _, counts = np.unique(col, return_counts=True)
+        worst = int(counts.max())
+        if worst * l > n:
+            raise EligibilityError(
+                f"attribute {attr.name!r}: a value appears {worst} times, "
+                f"above n/l = {n / l:.1f}",
+                count=worst, limit=n / l)
+
+
+def multi_anatomize_partition(table: MultiSensitiveTable, l: int,
+                              seed: int | None = 0) -> Partition:
+    """Compute a partition that is l-diverse on every sensitive attribute.
+
+    Strategy: bucket rows by the *primary* attribute (the one whose most
+    frequent value is largest, i.e. the most constrained); run Anatomize's
+    largest-bucket group creation, but when drawing from a bucket skip
+    candidates whose value on any other sensitive attribute collides with a
+    value already in the group.  Unplaceable tuples join a residue pool,
+    placed afterwards wherever the per-attribute frequency bound
+    ``c(v) <= size/l`` still holds.
+
+    Raises
+    ------
+    PartitionError
+        If the final partition misses l-diversity on some attribute (the
+        heuristic can be defeated by strongly correlated sensitive
+        attributes).
+    """
+    check_multi_eligibility(table, l)
+    rng = np.random.default_rng(seed)
+    n = len(table)
+    sens = table.sensitive_matrix()
+    p = table.p
+
+    # Most constrained attribute becomes the bucketing key.
+    worst_freq = []
+    for k in range(p):
+        _, counts = np.unique(sens[:, k], return_counts=True)
+        worst_freq.append(int(counts.max()))
+    primary = int(np.argmax(worst_freq))
+
+    buckets: dict[int, list[int]] = {}
+    for row in rng.permutation(n):
+        buckets.setdefault(int(sens[row, primary]), []).append(int(row))
+
+    groups: list[list[int]] = []
+    # Per group, per attribute: the set of codes already present.
+    group_values: list[list[set[int]]] = []
+    residues: list[int] = []
+
+    def bucket_order() -> list[int]:
+        return sorted(buckets, key=lambda c: len(buckets[c]), reverse=True)
+
+    while sum(1 for b in buckets.values() if b) >= l:
+        member_rows: list[int] = []
+        member_sets: list[set[int]] = [set() for _ in range(p)]
+        used_buckets: list[int] = []
+        for code in bucket_order():
+            if len(member_rows) == l:
+                break
+            rows = buckets[code]
+            if not rows:
+                continue
+            pick = None
+            for idx in range(len(rows) - 1, -1, -1):
+                row = rows[idx]
+                if all(int(sens[row, k]) not in member_sets[k]
+                       for k in range(p)):
+                    pick = idx
+                    break
+            if pick is None:
+                continue
+            row = rows.pop(pick)
+            member_rows.append(row)
+            used_buckets.append(code)
+            for k in range(p):
+                member_sets[k].add(int(sens[row, k]))
+        if len(member_rows) < l:
+            # Could not complete a group: return the drawn tuples to the
+            # residue pool and stop creating groups.
+            residues.extend(member_rows)
+            break
+        groups.append(member_rows)
+        group_values.append(member_sets)
+
+    for rows in buckets.values():
+        residues.extend(rows)
+
+    if not groups:
+        raise PartitionError(
+            "could not form any all-distinct group; the sensitive "
+            "attributes are too correlated for this l")
+
+    # Residue placement: keep each attribute's in-group frequency at or
+    # below size/l after insertion.
+    group_hists: list[list[dict[int, int]]] = []
+    for g_rows in groups:
+        hists = [dict() for _ in range(p)]
+        for row in g_rows:
+            for k in range(p):
+                code = int(sens[row, k])
+                hists[k][code] = hists[k].get(code, 0) + 1
+        group_hists.append(hists)
+
+    for row in residues:
+        placed = False
+        order = rng.permutation(len(groups))
+        for j in order:
+            j = int(j)
+            size_after = len(groups[j]) + 1
+            ok = True
+            for k in range(p):
+                code = int(sens[row, k])
+                count_after = group_hists[j][k].get(code, 0) + 1
+                if count_after * l > size_after:
+                    ok = False
+                    break
+            if ok:
+                groups[j].append(row)
+                for k in range(p):
+                    code = int(sens[row, k])
+                    group_hists[j][k][code] = (
+                        group_hists[j][k].get(code, 0) + 1)
+                placed = True
+                break
+        if not placed:
+            raise PartitionError(
+                "residue tuple cannot be placed without breaking "
+                "per-attribute l-diversity; instance too constrained")
+
+    partition = Partition(table.base, groups, validate=True)
+    verify_multi_diversity(table, partition, l)
+    return partition
+
+
+def verify_multi_diversity(table: MultiSensitiveTable,
+                           partition: Partition, l: int) -> None:
+    """Assert the partition is l-diverse on every sensitive attribute.
+
+    Raises
+    ------
+    PartitionError
+        Naming the first offending (group, attribute) pair.
+    """
+    sens = table.sensitive_matrix()
+    for group in partition:
+        for k, attr in enumerate(table.sensitive_attributes):
+            codes = sens[group.indices, k]
+            _, counts = np.unique(codes, return_counts=True)
+            if int(counts.max()) * l > group.size:
+                raise PartitionError(
+                    f"group {group.group_id} violates {l}-diversity on "
+                    f"attribute {attr.name!r}")
+
+
+class MultiAnatomizedTables:
+    """Publication for multi-sensitive anatomy: one QIT + one ST per
+    sensitive attribute."""
+
+    __slots__ = ("table", "partition", "qit", "sts")
+
+    def __init__(self, table: MultiSensitiveTable,
+                 partition: Partition) -> None:
+        from repro.core.tables import (QuasiIdentifierTable, SensitiveTable)
+
+        self.table = table
+        self.partition = partition
+        base = table.base
+        qi_matrix = base.qi_matrix()
+        qi_rows = [qi_matrix[g.indices] for g in partition]
+        gid_rows = [np.full(g.size, g.group_id, dtype=np.int32)
+                    for g in partition]
+        self.qit = QuasiIdentifierTable(
+            base.schema,
+            np.vstack(qi_rows),
+            np.concatenate(gid_rows))
+
+        self.sts: dict[str, SensitiveTable] = {}
+        for attr in table.sensitive_attributes:
+            col = table.sensitive_column(attr.name)
+            gids, codes, counts = [], [], []
+            for group in partition:
+                values, cnts = np.unique(col[group.indices],
+                                         return_counts=True)
+                for v, c in zip(values, cnts):
+                    gids.append(group.group_id)
+                    codes.append(int(v))
+                    counts.append(int(c))
+            schema_k = Schema(table.qi_attributes, attr)
+            self.sts[attr.name] = SensitiveTable(
+                schema_k,
+                np.asarray(gids, dtype=np.int32),
+                np.asarray(codes, dtype=np.int32),
+                np.asarray(counts, dtype=np.int64))
+
+    def breach_probability_bound(self, attribute: str) -> float:
+        """Worst-case single-attribute inference probability
+        (per-attribute analogue of Corollary 1)."""
+        st = self.sts[attribute]
+        worst = 0.0
+        for gid in {int(g) for g in st.group_ids}:
+            worst = max(worst, max(st.group_distribution(gid).values()))
+        return worst
+
+
+def multi_anatomize(table: MultiSensitiveTable, l: int,
+                    seed: int | None = 0) -> MultiAnatomizedTables:
+    """End-to-end multi-sensitive anatomy: partition + publication."""
+    partition = multi_anatomize_partition(table, l, seed=seed)
+    return MultiAnatomizedTables(table, partition)

@@ -1,0 +1,216 @@
+"""Partitions of microdata into QI-groups (paper Definition 1).
+
+A *partition* divides the microdata ``T`` into disjoint, covering subsets
+called QI-groups ``QI_1 .. QI_m``.  Both anatomy and generalization are
+defined on top of a partition; the privacy level of the published tables is
+a property of the partition (its diversity), while the utility depends on
+how the partition is rendered (anatomized vs generalized).
+
+Groups are represented as arrays of row indices into the microdata table,
+which keeps the structure cheap (no copying of tuple data) and lets every
+downstream computation stay vectorized.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.exceptions import PartitionError
+
+
+class QIGroup:
+    """One QI-group: a set of rows of the microdata.
+
+    Parameters
+    ----------
+    table:
+        The microdata the group refers into.
+    indices:
+        Row positions of the group's tuples.
+    group_id:
+        1-based group identifier (the paper's ``Group-ID`` column starts
+        at 1).
+    """
+
+    __slots__ = ("table", "indices", "group_id", "_hist")
+
+    def __init__(self, table: Table, indices: np.ndarray,
+                 group_id: int) -> None:
+        self.table = table
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.group_id = int(group_id)
+        if self.indices.ndim != 1:
+            raise PartitionError("group indices must be a 1-D array")
+        if len(self.indices) == 0:
+            raise PartitionError(f"QI-group {group_id} is empty")
+        self._hist: dict[int, int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    @property
+    def size(self) -> int:
+        """``|QI_j|`` — number of tuples in the group."""
+        return len(self.indices)
+
+    def sensitive_codes(self) -> np.ndarray:
+        """Sensitive-attribute codes of the group's tuples."""
+        return self.table.sensitive_column[self.indices]
+
+    def sensitive_histogram(self) -> dict[int, int]:
+        """``c_j(v)`` for every sensitive code ``v`` present in the group.
+
+        This is exactly the content of the group's ST records
+        (Definition 3).  Cached after the first call.
+        """
+        if self._hist is None:
+            codes, counts = np.unique(self.sensitive_codes(),
+                                      return_counts=True)
+            self._hist = {int(c): int(k) for c, k in zip(codes, counts)}
+        return self._hist
+
+    def max_sensitive_count(self) -> int:
+        """``c_j(v)`` of the most frequent sensitive value in the group."""
+        return max(self.sensitive_histogram().values())
+
+    def distinct_sensitive_count(self) -> int:
+        """Number of distinct sensitive values in the group (lambda)."""
+        return len(self.sensitive_histogram())
+
+    def qi_extent(self) -> list[tuple[int, int]]:
+        """Per-QI-attribute ``[min_code, max_code]`` over the group's tuples.
+
+        This is the minimum bounding rectangle a generalization of the group
+        must cover (before snapping to taxonomy boundaries).
+        """
+        extents = []
+        for attr in self.table.schema.qi_attributes:
+            col = self.table.column(attr.name)[self.indices]
+            extents.append((int(col.min()), int(col.max())))
+        return extents
+
+    def __repr__(self) -> str:
+        return f"QIGroup(id={self.group_id}, size={self.size})"
+
+
+class Partition:
+    """A partition of the microdata into QI-groups (Definition 1).
+
+    Parameters
+    ----------
+    table:
+        The microdata being partitioned.
+    groups:
+        Row-index arrays, one per QI-group, in Group-ID order (group ``j``
+        in the paper is ``groups[j-1]`` here).
+    validate:
+        When true (default), verify disjointness and coverage.
+
+    Raises
+    ------
+    PartitionError
+        If the groups overlap or do not cover the table.
+    """
+
+    __slots__ = ("table", "groups")
+
+    def __init__(self, table: Table,
+                 groups: Sequence[Iterable[int]],
+                 validate: bool = True) -> None:
+        self.table = table
+        self.groups: tuple[QIGroup, ...] = tuple(
+            QIGroup(table, np.asarray(list(g), dtype=np.int64), j + 1)
+            for j, g in enumerate(groups)
+        )
+        if validate:
+            self._check_disjoint_cover()
+
+    def _check_disjoint_cover(self) -> None:
+        if not self.groups and len(self.table) == 0:
+            return
+        all_indices = (np.concatenate([g.indices for g in self.groups])
+                       if self.groups else np.empty(0, dtype=np.int64))
+        if len(all_indices) != len(self.table):
+            raise PartitionError(
+                f"groups contain {len(all_indices)} rows, table has "
+                f"{len(self.table)}")
+        sorted_indices = np.sort(all_indices)
+        expected = np.arange(len(self.table), dtype=np.int64)
+        if not np.array_equal(sorted_indices, expected):
+            raise PartitionError(
+                "groups do not form a disjoint cover of the table")
+
+    @property
+    def m(self) -> int:
+        """Number of QI-groups."""
+        return len(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def __getitem__(self, j: int) -> QIGroup:
+        """Group by 0-based position (``partition[0]`` is QI-group 1)."""
+        return self.groups[j]
+
+    def group_by_id(self, group_id: int) -> QIGroup:
+        """Group by its 1-based Group-ID."""
+        if not 1 <= group_id <= len(self.groups):
+            raise PartitionError(
+                f"Group-ID {group_id} out of range [1, {len(self.groups)}]")
+        return self.groups[group_id - 1]
+
+    def group_sizes(self) -> list[int]:
+        return [g.size for g in self.groups]
+
+    def group_id_column(self) -> np.ndarray:
+        """Per-row Group-ID array aligned with the microdata's rows.
+
+        ``result[i]`` is the 1-based Group-ID of row ``i``; this is the
+        ``Group-ID`` column of the QIT.
+        """
+        ids = np.zeros(len(self.table), dtype=np.int32)
+        for g in self.groups:
+            ids[g.indices] = g.group_id
+        return ids
+
+    # ------------------------------------------------------------------ #
+    # diversity measurements
+    # ------------------------------------------------------------------ #
+
+    def is_l_diverse(self, l: int) -> bool:
+        """Whether the partition is l-diverse (Definition 2): in every
+        group, at most ``1/l`` of the tuples share the most frequent
+        sensitive value."""
+        if l < 1:
+            raise PartitionError(f"l must be >= 1, got {l}")
+        return all(g.max_sensitive_count() * l <= g.size
+                   for g in self.groups)
+
+    def diversity(self) -> float:
+        """The largest ``l`` (possibly fractional) for which the partition
+        is l-diverse: ``min_j |QI_j| / c_j(v_max)``.
+
+        An adversary's best-case inference probability is ``1 /
+        diversity()`` (Corollary 1).  Returns ``inf`` for an empty
+        partition.
+        """
+        if not self.groups:
+            return float("inf")
+        return min(g.size / g.max_sensitive_count() for g in self.groups)
+
+    def k_anonymity(self) -> int:
+        """The largest ``k`` for which the partition is k-anonymous: the
+        minimum group size.  Returns 0 for an empty partition."""
+        if not self.groups:
+            return 0
+        return min(g.size for g in self.groups)
+
+    def __repr__(self) -> str:
+        return (f"Partition(m={self.m}, n={len(self.table)}, "
+                f"diversity={self.diversity():.3g})")

@@ -1,0 +1,147 @@
+"""Per-tuple reconstructed probability density functions (Section 4).
+
+Each microdata tuple ``t`` is a point in the ``(d+1)``-dimensional discrete
+space ``DS``; its true pdf is the point mass ``G_t`` (Equation 9).  A
+publication method lets an analyst rebuild an approximation:
+
+* from **anatomized** tables, ``G_ana_t`` (Equation 11) — ``lambda`` spikes
+  at ``(t[1..d], v_h)`` with mass ``c(v_h)/|QI|`` (the QI coordinates are
+  exact; only the sensitive coordinate is uncertain);
+* from a **generalized** table, ``G_gen_t`` (Equation 10) — uniform mass
+  ``1 / prod_i L(QI[i])`` over the group's QI box, with the sensitive
+  coordinate exact.
+
+The reconstruction error of an approximation is its squared L2 distance
+from the point mass (Equation 12).  Because the true pdf is a point mass,
+the error has the closed form
+
+    Err_t = (1 - p(t))^2 + sum_{x != t} p(x)^2
+
+where ``p`` is the approximate pdf — implemented here for both sparse
+(anatomy) and uniform-box (generalization) supports without materializing
+the space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.exceptions import ReproError
+
+
+class SparsePdf:
+    """A pdf supported on finitely many points of ``DS``.
+
+    Points are arbitrary hashable coordinates (typically code tuples
+    ``(qi_1, .., qi_d, s)``); masses must sum to 1 within tolerance.
+    """
+
+    __slots__ = ("masses",)
+
+    def __init__(self, masses: Mapping[object, float]) -> None:
+        total = sum(masses.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ReproError(f"pdf masses sum to {total}, expected 1")
+        if any(m < 0 for m in masses.values()):
+            raise ReproError("pdf masses must be non-negative")
+        self.masses = dict(masses)
+
+    def __call__(self, point: object) -> float:
+        return self.masses.get(point, 0.0)
+
+    def l2_error_from_point_mass(self, true_point: object) -> float:
+        """Squared L2 distance from the point mass at ``true_point``
+        (Equation 12 with Equation 9 as the reference)."""
+        err = (1.0 - self(true_point)) ** 2
+        err += sum(m * m for p, m in self.masses.items() if p != true_point)
+        return err
+
+    def __repr__(self) -> str:
+        return f"SparsePdf(support={len(self.masses)})"
+
+
+def true_pdf(tuple_codes: tuple[int, ...]) -> SparsePdf:
+    """The actual pdf ``G_t`` of a tuple: a point mass (Equation 9)."""
+    return SparsePdf({tuple(tuple_codes): 1.0})
+
+
+def anatomy_pdf(qi_codes: tuple[int, ...],
+                group_histogram: Mapping[int, int]) -> SparsePdf:
+    """The pdf an analyst reconstructs from anatomized tables
+    (Equation 11).
+
+    Parameters
+    ----------
+    qi_codes:
+        The tuple's exact QI codes, read directly from the QIT.
+    group_histogram:
+        ``{sensitive code: c_j(v)}`` for the tuple's group, read from the
+        ST.
+    """
+    size = sum(group_histogram.values())
+    if size <= 0:
+        raise ReproError("group histogram is empty")
+    qi = tuple(qi_codes)
+    return SparsePdf({
+        qi + (code,): count / size
+        for code, count in group_histogram.items()
+    })
+
+
+def anatomy_error(group_histogram: Mapping[int, int],
+                  true_sensitive: int) -> float:
+    """``Err_t`` for a tuple under anatomy, in closed form.
+
+    With spikes ``c(v_h)/|QI|``, the squared L2 distance from the point
+    mass at ``(t[1..d], v_true)`` is
+
+        (1 - c(v_true)/|QI|)^2 + sum_{h != true} (c(v_h)/|QI|)^2
+
+    This is the expression manipulated in the proofs of Theorems 2 and 4.
+    """
+    size = sum(group_histogram.values())
+    if size <= 0:
+        raise ReproError("group histogram is empty")
+    if true_sensitive not in group_histogram:
+        raise ReproError(
+            f"true sensitive code {true_sensitive} absent from its own "
+            f"group's histogram")
+    err = (1.0 - group_histogram[true_sensitive] / size) ** 2
+    err += sum((count / size) ** 2
+               for code, count in group_histogram.items()
+               if code != true_sensitive)
+    return err
+
+
+def generalization_error(box_volume: int) -> float:
+    """``Err_t`` for a tuple under generalization, in closed form.
+
+    ``G_gen_t`` spreads mass ``1/V`` over the ``V = prod_i L(QI[i])`` cells
+    of the group's QI box (sensitive coordinate exact, Equation 10), so
+
+        Err_t = (1 - 1/V)^2 + (V - 1) / V^2 = 1 - 1/V.
+
+    Note this metric alone does not capture generalization's real defect —
+    a *wrong but plausible* distribution over the box (Section 1.1); the
+    query experiments (Figures 4-7) do.
+    """
+    if box_volume < 1:
+        raise ReproError(f"box volume must be >= 1, got {box_volume}")
+    return 1.0 - 1.0 / box_volume
+
+
+def generalization_pdf(box_lengths: tuple[int, ...],
+                       true_sensitive: int) -> float:
+    """The per-cell mass of ``G_gen_t`` (Equation 10): ``1 / prod L_i``.
+
+    Returned as a scalar because the support (the whole box) is too large
+    to enumerate for wide generalizations; use
+    :func:`generalization_error` for the reconstruction error.
+    """
+    volume = 1
+    for length in box_lengths:
+        if length < 1:
+            raise ReproError(f"box side length must be >= 1, got {length}")
+        volume *= length
+    _ = true_sensitive  # the sensitive coordinate is exact; mass is per cell
+    return 1.0 / volume

@@ -1,0 +1,85 @@
+"""Re-construction error (RCE) and its optimality bounds (Sections 4-5).
+
+The RCE of a publication is the sum of per-tuple reconstruction errors
+``Err_t`` (Equations 12-13).  For anatomy the paper proves:
+
+* **Theorem 2** — any anatomized tables satisfy
+  ``RCE >= n (1 - 1/l)``;
+* **Theorem 4** — the tables produced by Anatomize achieve
+  ``RCE = (n - r)(1 - 1/l) + r`` where ``r = n mod l``; this exceeds the
+  lower bound by a factor ``1 + r / (n (l - 1)) <= 1 + 1/n``.
+
+This module evaluates RCE exactly for any partition (anatomy rendering) and
+for any generalized table, and exposes the bounds so tests and benchmarks
+can check them.
+"""
+
+from __future__ import annotations
+
+from repro.core.partition import Partition, QIGroup
+from repro.core.pdf import anatomy_error, generalization_error
+from repro.exceptions import ReproError
+
+
+def group_rce(group: QIGroup) -> float:
+    """Sum of ``Err_t`` over the tuples of one QI-group under anatomy.
+
+    With histogram counts ``c(v_1) .. c(v_lambda)`` and group size ``s``,
+    each of the ``c(v_h)`` tuples carrying ``v_h`` contributes
+    ``anatomy_error(hist, v_h)``, so the group total is computed from the
+    histogram alone — no per-tuple loop.
+    """
+    hist = group.sensitive_histogram()
+    return sum(count * anatomy_error(hist, code)
+               for code, count in hist.items())
+
+
+def anatomy_rce(partition: Partition) -> float:
+    """Exact RCE (Equation 13) of the anatomized rendering of a
+    partition."""
+    return sum(group_rce(g) for g in partition)
+
+
+def rce_lower_bound(n: int, l: int) -> float:
+    """Theorem 2: the minimum RCE achievable by any QIT/ST pair derived
+    from an l-diverse partition of ``n`` tuples: ``n (1 - 1/l)``."""
+    if n < 0:
+        raise ReproError(f"n must be non-negative, got {n}")
+    if l < 1:
+        raise ReproError(f"l must be >= 1, got {l}")
+    return n * (1.0 - 1.0 / l)
+
+
+def anatomize_rce_formula(n: int, l: int) -> float:
+    """Theorem 4: the exact RCE of the tables Anatomize outputs.
+
+    ``(n - r)(1 - 1/l) + r`` with ``r = n mod l``.  Equals the lower bound
+    when ``l`` divides ``n``.
+    """
+    if n < 0:
+        raise ReproError(f"n must be non-negative, got {n}")
+    if l < 1:
+        raise ReproError(f"l must be >= 1, got {l}")
+    r = n % l
+    return (n - r) * (1.0 - 1.0 / l) + r
+
+
+def anatomize_optimality_factor(n: int, l: int) -> float:
+    """Theorem 4's deviation factor ``1 + r / (n (l - 1))``, which is at
+    most ``1 + 1/n`` (since ``r <= l - 1``)."""
+    if n <= 0:
+        raise ReproError(f"n must be positive, got {n}")
+    if l < 2:
+        raise ReproError(f"l must be >= 2 for the factor, got {l}")
+    r = n % l
+    return 1.0 + r / (n * (l - 1.0))
+
+
+def generalization_rce(box_volumes: list[int]) -> float:
+    """RCE of a generalized table given each tuple's QI-box volume.
+
+    ``box_volumes[i]`` is ``prod_k L(QI[k])`` for tuple ``i``'s group;
+    each tuple contributes ``1 - 1/V`` (see
+    :func:`repro.core.pdf.generalization_error`).
+    """
+    return sum(generalization_error(v) for v in box_volumes)

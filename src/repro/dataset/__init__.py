@@ -1,0 +1,91 @@
+"""Data substrate: schemas, columnar tables, taxonomies, and datasets.
+
+This package supplies everything the privacy algorithms consume:
+
+* :mod:`repro.dataset.schema` — discrete attributes with finite ordered
+  domains, and microdata schemas (d quasi-identifiers + 1 sensitive
+  attribute).
+* :mod:`repro.dataset.table` — an immutable numpy-backed columnar table.
+* :mod:`repro.dataset.taxonomy` — taxonomy trees constraining categorical
+  generalization (paper Table 6).
+* :mod:`repro.dataset.census` — the synthetic CENSUS population matching
+  the paper's Table 6, with the OCC-d / SAL-d microdata views.
+* :mod:`repro.dataset.hospital` — the paper's 8-patient worked example.
+"""
+
+from repro.dataset.census import (
+    CENSUS_ATTRIBUTES,
+    FULL_CARDINALITY,
+    QI_ATTRIBUTE_NAMES,
+    SENSITIVE_OCCUPATION,
+    SENSITIVE_SALARY,
+    CensusAttributeSpec,
+    CensusDataset,
+    census_attribute,
+    census_schema,
+    census_taxonomy,
+    generate_census_codes,
+)
+from repro.dataset.adult import (
+    ADULT_QI_NAMES,
+    adult_attribute,
+    adult_schema,
+    generate_adult,
+    generate_adult_with_income,
+)
+from repro.dataset.io import (
+    infer_schema_from_csv,
+    load_anatomized,
+    load_table,
+    save_anatomized,
+    save_generalized,
+    save_table,
+)
+from repro.dataset.hospital import (
+    ALICE_ROW,
+    BOB_ROW,
+    HOSPITAL_ROWS,
+    PAPER_PARTITION_GROUPS,
+    hospital_schema,
+    hospital_table,
+)
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+from repro.dataset.taxonomy import FreeTaxonomy, Taxonomy
+
+__all__ = [
+    "ADULT_QI_NAMES",
+    "ALICE_ROW",
+    "Attribute",
+    "AttributeKind",
+    "BOB_ROW",
+    "CENSUS_ATTRIBUTES",
+    "CensusAttributeSpec",
+    "CensusDataset",
+    "FULL_CARDINALITY",
+    "FreeTaxonomy",
+    "HOSPITAL_ROWS",
+    "PAPER_PARTITION_GROUPS",
+    "QI_ATTRIBUTE_NAMES",
+    "SENSITIVE_OCCUPATION",
+    "SENSITIVE_SALARY",
+    "Schema",
+    "Table",
+    "Taxonomy",
+    "census_attribute",
+    "census_schema",
+    "adult_attribute",
+    "adult_schema",
+    "census_taxonomy",
+    "generate_adult",
+    "generate_adult_with_income",
+    "generate_census_codes",
+    "hospital_schema",
+    "hospital_table",
+    "infer_schema_from_csv",
+    "load_anatomized",
+    "load_table",
+    "save_anatomized",
+    "save_generalized",
+    "save_table",
+]

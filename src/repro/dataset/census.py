@@ -1,0 +1,372 @@
+"""Synthetic CENSUS dataset matching the paper's Table 6.
+
+The paper evaluates on CENSUS (ipums.org), 500k American adults with nine
+discrete attributes.  The real extract cannot be fetched in this offline
+environment, so this module generates a synthetic population with
+
+* **exactly** the Table 6 domain sizes (Age 78, Gender 2, Education 17,
+  Marital 6, Race 9, Work-class 10, Country 83, Occupation 50,
+  Salary-class 50),
+* the Table 6 generalization constraints (free interval vs taxonomy tree of
+  the stated height) wired to :mod:`repro.dataset.taxonomy`, and
+* realistic inter-attribute correlation: a latent socioeconomic factor
+  drives education, work-class, occupation and salary; age drives marital
+  status and bounds education; race and country are Zipf-skewed.
+
+The correlation structure is what the paper's experiments exercise — anatomy
+preserves the joint QI/sensitive distribution while generalization smears it
+— so any dataset with comparable dependency strength reproduces the *shape*
+of Figures 4–9.  See DESIGN.md section 2 for the substitution argument.
+
+Generation is fully vectorized and deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+from repro.dataset.taxonomy import FreeTaxonomy, Taxonomy
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class CensusAttributeSpec:
+    """One row of the paper's Table 6."""
+
+    name: str
+    size: int
+    kind: AttributeKind
+    #: Taxonomy height for "taxonomy tree (x)" recoding; ``None`` means the
+    #: attribute is generalized with free intervals (or is sensitive).
+    taxonomy_height: int | None
+    #: Whether the attribute ever serves as the sensitive attribute.
+    sensitive: bool = False
+
+
+#: The paper's Table 6, verbatim: name, number of distinct values, and the
+#: generalization method ("free interval" or "taxonomy tree (x)").
+CENSUS_ATTRIBUTES: tuple[CensusAttributeSpec, ...] = (
+    CensusAttributeSpec("Age", 78, AttributeKind.NUMERIC, None),
+    CensusAttributeSpec("Gender", 2, AttributeKind.CATEGORICAL, 2),
+    CensusAttributeSpec("Education", 17, AttributeKind.NUMERIC, None),
+    CensusAttributeSpec("Marital", 6, AttributeKind.CATEGORICAL, 3),
+    CensusAttributeSpec("Race", 9, AttributeKind.CATEGORICAL, 2),
+    CensusAttributeSpec("Work-class", 10, AttributeKind.CATEGORICAL, 4),
+    CensusAttributeSpec("Country", 83, AttributeKind.CATEGORICAL, 3),
+    CensusAttributeSpec("Occupation", 50, AttributeKind.CATEGORICAL, None,
+                        sensitive=True),
+    CensusAttributeSpec("Salary-class", 50, AttributeKind.CATEGORICAL, None,
+                        sensitive=True),
+)
+
+#: QI attributes in Table 6 order; OCC-d / SAL-d use the first ``d`` of them.
+QI_ATTRIBUTE_NAMES: tuple[str, ...] = tuple(
+    s.name for s in CENSUS_ATTRIBUTES if not s.sensitive)
+
+SENSITIVE_OCCUPATION = "Occupation"
+SENSITIVE_SALARY = "Salary-class"
+
+#: Default cardinality of the full dataset (the paper's 500k); tests and
+#: benchmarks typically generate smaller populations with the same code.
+FULL_CARDINALITY = 500_000
+
+
+def _spec(name: str) -> CensusAttributeSpec:
+    for spec in CENSUS_ATTRIBUTES:
+        if spec.name == name:
+            return spec
+    raise SchemaError(f"unknown CENSUS attribute {name!r}")
+
+
+@lru_cache(maxsize=None)
+def census_attribute(name: str) -> Attribute:
+    """The :class:`Attribute` for a Table 6 column.
+
+    Domains are human-readable where small (Gender) and synthetic labelled
+    codes elsewhere (``"Age:31"`` decodes age index 31, etc.); all algorithms
+    operate on integer codes, so labels only affect display.
+    """
+    spec = _spec(name)
+    if name == "Age":
+        values: tuple = tuple(range(15, 15 + spec.size))  # ages 15..92
+    elif name == "Gender":
+        values = ("F", "M")
+    else:
+        values = tuple(f"{name}:{i}" for i in range(spec.size))
+    return Attribute(name, values, kind=spec.kind)
+
+
+@lru_cache(maxsize=None)
+def census_taxonomy(name: str) -> Taxonomy:
+    """The generalization taxonomy Table 6 prescribes for a QI attribute."""
+    spec = _spec(name)
+    if spec.sensitive:
+        raise SchemaError(
+            f"{name!r} is sensitive; generalization does not apply")
+    if spec.taxonomy_height is None:
+        return FreeTaxonomy(spec.size)
+    return Taxonomy(spec.size, height=spec.taxonomy_height)
+
+
+def census_schema(d: int, sensitive: str) -> Schema:
+    """Schema of the paper's OCC-d / SAL-d microdata views.
+
+    ``d`` QI attributes are the first ``d`` entries of Table 6; the
+    sensitive attribute is ``Occupation`` (OCC) or ``Salary-class`` (SAL).
+    """
+    if not 1 <= d <= len(QI_ATTRIBUTE_NAMES):
+        raise SchemaError(
+            f"d must be in [1, {len(QI_ATTRIBUTE_NAMES)}], got {d}")
+    if sensitive not in (SENSITIVE_OCCUPATION, SENSITIVE_SALARY):
+        raise SchemaError(
+            f"sensitive attribute must be {SENSITIVE_OCCUPATION!r} or "
+            f"{SENSITIVE_SALARY!r}, got {sensitive!r}")
+    qi = [census_attribute(n) for n in QI_ATTRIBUTE_NAMES[:d]]
+    return Schema(qi, census_attribute(sensitive))
+
+
+# --------------------------------------------------------------------- #
+# generation internals
+# --------------------------------------------------------------------- #
+
+def _reflect_clip(values: np.ndarray, size: int) -> np.ndarray:
+    """Fold real-valued draws into ``[0, size-1]`` by mirror reflection.
+
+    Plain clipping piles probability mass onto the extreme codes, which can
+    violate the l-diversity eligibility condition (a sensitive value held by
+    more than ``n/l`` tuples).  Reflection preserves locality (and hence
+    correlation) while keeping the marginal smooth.
+    """
+    period = 2.0 * (size - 1) if size > 1 else 1.0
+    folded = np.mod(values, period)
+    folded = np.where(folded > size - 1, period - folded, folded)
+    return np.clip(np.rint(folded), 0, size - 1).astype(np.int32)
+
+
+def _noisy_map(base: np.ndarray, size: int, noise: float,
+               rng: np.random.Generator) -> np.ndarray:
+    """Discretize ``base`` (values in [0, 1]) onto ``size`` codes with
+    Gaussian jitter, reflected at the domain boundary."""
+    raw = base * (size - 1) + rng.normal(0.0, noise, size=len(base))
+    return _reflect_clip(raw, size)
+
+
+def _zipf_codes(size: int, exponent: float, n: int,
+                rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` codes from a Zipf-like distribution over ``size`` values."""
+    ranks = np.arange(1, size + 1, dtype=np.float64)
+    probs = ranks ** (-exponent)
+    probs /= probs.sum()
+    return rng.choice(size, size=n, p=probs).astype(np.int32)
+
+
+def _lumpy_quantizer(size: int, rng: np.random.Generator,
+                     sigma: float = 1.0,
+                     max_share: float | None = None) -> np.ndarray:
+    """Cumulative boundaries of a 'textured' marginal over ``size``
+    codes.
+
+    Real census attributes are lumpy at every scale — age heaps on
+    round values, education concentrates on a few levels — and that
+    texture is what defeats the uniform-within-box assumption no matter
+    how densely the data is sampled.  We draw per-code lognormal
+    weights (a fixed texture for the dataset's seed), optionally cap
+    any single code's share (to preserve l-diversity eligibility for
+    sensitive attributes), and return the cumulative distribution.
+    """
+    weights = rng.lognormal(0.0, sigma, size=size)
+    probs = weights / weights.sum()
+    if max_share is not None:
+        # iterative water-filling: clip heavy codes, renormalize the rest
+        for _ in range(32):
+            over = probs > max_share
+            if not over.any():
+                break
+            excess = (probs[over] - max_share).sum()
+            probs[over] = max_share
+            under = ~over
+            probs[under] += excess * probs[under] / probs[under].sum()
+    return np.cumsum(probs)
+
+
+def _requantize(codes: np.ndarray, size: int,
+                boundaries: np.ndarray,
+                rng: np.random.Generator) -> np.ndarray:
+    """Monotonically remap codes onto a lumpy marginal.
+
+    Each tuple's *empirical rank* (ties broken randomly) is pushed
+    through the textured inverse-CDF, so the output marginal equals the
+    texture exactly — including any share caps — while the map stays
+    monotone in the input code and the generator's correlation
+    structure survives.
+    """
+    n = len(codes)
+    if n == 0:
+        return codes.astype(np.int32)
+    order = np.argsort(codes, kind="stable")
+    u = np.empty(n, dtype=np.float64)
+    u[order] = (np.arange(n) + rng.random(n)) / n
+    out = np.searchsorted(boundaries, u, side="left")
+    return np.clip(out, 0, size - 1).astype(np.int32)
+
+
+def generate_census_codes(n: int = FULL_CARDINALITY,
+                          seed: int = 42) -> np.ndarray:
+    """Generate the full nine-column CENSUS code matrix, shape ``(n, 9)``.
+
+    Column order follows :data:`CENSUS_ATTRIBUTES`.  The generation model:
+
+    * ``latent`` ~ Beta(2.2, 2.2): a socioeconomic factor per person.
+    * Age: two-component mixture (working-age bulk + older tail).
+    * Gender: Bernoulli(0.51).
+    * Education: driven by latent, attenuated for the young.
+    * Marital: age-driven categorical (young -> single, etc.).
+    * Race: Zipf(1.3) over 9 groups.
+    * Work-class: latent-driven with jitter.
+    * Country: Zipf(1.6) over 83 (one dominant country plus a long tail).
+    * Occupation: 0.5 education + 0.3 work-class + 0.2 latent, jittered.
+    * Salary-class: 0.45 occupation + 0.3 education + 0.25 latent, jittered.
+
+    Finally, Age / Education / Occupation / Salary-class marginals are
+    monotonically remapped onto lognormal-textured ("lumpy")
+    distributions: real census attributes heap on particular values at
+    every sampling density, and that texture — not just global
+    correlation — is what defeats the uniform-within-box assumption of
+    generalized tables even for very large ``n``.  The remap is
+    monotone, so the correlation structure survives; sensitive-attribute
+    textures are share-capped at 4%, keeping every l up to 25 eligible
+    (the privacy-utility sweeps go that high).
+    """
+    if n < 0:
+        raise SchemaError(f"n must be non-negative, got {n}")
+    rng = np.random.default_rng(seed)
+    latent = rng.beta(2.2, 2.2, size=n)
+
+    sizes = {s.name: s.size for s in CENSUS_ATTRIBUTES}
+
+    # Age: mixture of working-age adults and an older tail, folded into
+    # the 78-value domain.
+    young = rng.normal(22.0, 12.0, size=n)
+    older = rng.normal(45.0, 16.0, size=n)
+    pick_old = rng.random(n) < 0.55
+    age = _reflect_clip(np.where(pick_old, older, young), sizes["Age"])
+
+    gender = (rng.random(n) < 0.51).astype(np.int32)
+
+    # Education rises with the latent factor; the very young have had less
+    # time to accumulate it.
+    edu_base = 0.75 * latent + 0.25 * np.minimum(age / 30.0, 1.0)
+    education = _noisy_map(edu_base, sizes["Education"], noise=2.2, rng=rng)
+
+    # Marital status: thresholds on age with noise (0=single ... 5=widowed).
+    marital_base = np.clip((age - 8.0) / float(sizes["Age"]), 0.0, 1.0)
+    marital = _noisy_map(marital_base, sizes["Marital"], noise=1.0, rng=rng)
+
+    race = _zipf_codes(sizes["Race"], 1.3, n, rng)
+
+    work_base = 0.8 * latent + 0.2 * rng.random(n)
+    workclass = _noisy_map(work_base, sizes["Work-class"], noise=1.6, rng=rng)
+
+    country = _zipf_codes(sizes["Country"], 1.6, n, rng)
+
+    occ_base = (0.5 * education / (sizes["Education"] - 1)
+                + 0.3 * workclass / (sizes["Work-class"] - 1)
+                + 0.2 * latent)
+    occupation = _noisy_map(occ_base, sizes["Occupation"], noise=4.5, rng=rng)
+
+    sal_base = (0.45 * occupation / (sizes["Occupation"] - 1)
+                + 0.3 * education / (sizes["Education"] - 1)
+                + 0.25 * latent)
+    salary = _noisy_map(sal_base, sizes["Salary-class"], noise=4.5, rng=rng)
+
+    # Scale-invariant marginal texture (see docstring).  The texture
+    # RNG is derived from the seed, so a dataset's lumps are fixed.
+    texture_rng = np.random.default_rng(seed + 0x5EED)
+    age = _requantize(age, sizes["Age"],
+                      _lumpy_quantizer(sizes["Age"], texture_rng,
+                                       sigma=0.7), rng)
+    education = _requantize(
+        education, sizes["Education"],
+        _lumpy_quantizer(sizes["Education"], texture_rng, sigma=0.8),
+        rng)
+    occupation = _requantize(
+        occupation, sizes["Occupation"],
+        _lumpy_quantizer(sizes["Occupation"], texture_rng, sigma=0.7,
+                         max_share=0.04), rng)
+    salary = _requantize(
+        salary, sizes["Salary-class"],
+        _lumpy_quantizer(sizes["Salary-class"], texture_rng, sigma=0.7,
+                         max_share=0.04), rng)
+
+    return np.column_stack([age, gender, education, marital, race,
+                            workclass, country, occupation, salary])
+
+
+class CensusDataset:
+    """A generated CENSUS population and its microdata views.
+
+    Parameters
+    ----------
+    n:
+        Population size (the paper's full dataset has 500k tuples).
+    seed:
+        Generator seed; the same ``(n, seed)`` always produces the same
+        population.
+
+    Examples
+    --------
+    >>> census = CensusDataset(n=1000, seed=7)
+    >>> occ3 = census.occ(3)          # the paper's OCC-3 view
+    >>> occ3.schema.qi_names
+    ('Age', 'Gender', 'Education')
+    >>> sal5 = census.sal(5)          # the paper's SAL-5 view
+    >>> len(sal5)
+    1000
+    """
+
+    def __init__(self, n: int = FULL_CARDINALITY, seed: int = 42) -> None:
+        self.n = int(n)
+        self.seed = int(seed)
+        self._codes = generate_census_codes(self.n, self.seed)
+        self._views: dict[tuple[int, str], Table] = {}
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The raw ``(n, 9)`` code matrix in Table 6 column order."""
+        return self._codes
+
+    def view(self, d: int, sensitive: str) -> Table:
+        """The microdata view with ``d`` QI attributes and the chosen
+        sensitive attribute (the paper's OCC-d / SAL-d tables)."""
+        key = (d, sensitive)
+        if key not in self._views:
+            schema = census_schema(d, sensitive)
+            names = list(schema.names)
+            all_names = [s.name for s in CENSUS_ATTRIBUTES]
+            col_idx = [all_names.index(name) for name in names]
+            columns = {
+                name: np.ascontiguousarray(self._codes[:, i])
+                for name, i in zip(names, col_idx)
+            }
+            self._views[key] = Table(schema, columns, validate=False)
+        return self._views[key]
+
+    def occ(self, d: int) -> Table:
+        """The paper's OCC-d microdata (sensitive = Occupation)."""
+        return self.view(d, SENSITIVE_OCCUPATION)
+
+    def sal(self, d: int) -> Table:
+        """The paper's SAL-d microdata (sensitive = Salary-class)."""
+        return self.view(d, SENSITIVE_SALARY)
+
+    def sample_view(self, d: int, sensitive: str, n: int,
+                    seed: int = 0) -> Table:
+        """A random ``n``-row sample of a view, for the cardinality
+        experiments (paper Figure 7)."""
+        rng = np.random.default_rng(seed)
+        return self.view(d, sensitive).sample(n, rng)

@@ -1,0 +1,248 @@
+"""CSV serialization for microdata and published tables.
+
+A data publisher needs to move tables in and out of the library: load
+microdata from a CSV extract, and write the published QIT/ST (or a
+generalized table) back out for release.  This module provides that
+round-trip without any third-party dependency, using :mod:`csv` from the
+standard library.
+
+Formats
+-------
+* **Microdata CSV** — header row of attribute names (QI attributes then
+  the sensitive attribute), one row per tuple, decoded values.
+* **QIT CSV** — QI attribute names plus a final ``Group-ID`` column.
+* **ST CSV** — ``Group-ID``, the sensitive attribute's name, ``Count``.
+* **Generalized CSV** — per tuple, each QI attribute rendered as
+  ``lo..hi`` (or a single value when the interval is degenerate) plus the
+  exact sensitive value, following Definition 4's published form.
+
+All values are written decoded (human-readable); loading re-encodes them
+through the schema and fails loudly on out-of-domain values.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.exceptions import SchemaError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid package cycles
+    from repro.core.tables import AnatomizedTables
+    from repro.generalization.generalized_table import GeneralizedTable
+
+
+def infer_schema_from_csv(path: str | Path) -> Schema:
+    """Build a schema from a microdata CSV by inspecting its values.
+
+    The last column is taken as the sensitive attribute; every other
+    column becomes a QI attribute.  A column whose values all parse as
+    integers gets a numeric domain (sorted integers); otherwise the
+    domain is the sorted set of distinct strings.  This is the
+    publisher-side entry point for data that did not originate from this
+    library (the CLI uses it).
+    """
+    from repro.dataset.schema import Attribute, AttributeKind
+
+    path = Path(path)
+    with path.open(newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        if not header or len(header) < 2:
+            raise SchemaError(
+                f"{path}: need a header with at least 2 columns")
+        columns: list[set[str]] = [set() for _ in header]
+        for row in reader:
+            if len(row) != len(header):
+                raise SchemaError(f"{path}: ragged row {row!r}")
+            for cell, seen in zip(row, columns):
+                seen.add(cell)
+    attrs = []
+    for name, seen in zip(header, columns):
+        if not seen:
+            raise SchemaError(f"{path}: column {name!r} has no data")
+        try:
+            values: tuple = tuple(sorted(int(v) for v in seen))
+            kind = AttributeKind.NUMERIC
+        except ValueError:
+            values = tuple(sorted(seen))
+            kind = AttributeKind.CATEGORICAL
+        attrs.append(Attribute(name, values, kind=kind))
+    return Schema(attrs[:-1], attrs[-1])
+
+
+def _parse_value(attr, text: str) -> Any:
+    """Interpret a CSV cell against an attribute's domain.
+
+    Tries the raw string first, then an integer interpretation (CSV
+    stringifies numeric domains).
+    """
+    if text in attr:
+        return text
+    try:
+        as_int = int(text)
+    except ValueError:
+        as_int = None
+    if as_int is not None and as_int in attr:
+        return as_int
+    raise SchemaError(
+        f"value {text!r} not in domain of attribute {attr.name!r}")
+
+
+def save_table(table: Table, path: str | Path) -> None:
+    """Write microdata as a decoded CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(table.schema.names)
+        for i in range(len(table)):
+            writer.writerow(table.decode_row(i))
+
+
+def load_table(schema: Schema, path: str | Path) -> Table:
+    """Load microdata from a CSV produced by :func:`save_table` (or any
+    CSV with matching header and in-domain values).
+
+    Raises
+    ------
+    SchemaError
+        On a header mismatch or an out-of-domain value.
+    """
+    path = Path(path)
+    with path.open(newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty") from None
+        if tuple(header) != schema.names:
+            raise SchemaError(
+                f"header {header} does not match schema "
+                f"{list(schema.names)}")
+        attrs = schema.attributes
+        rows = []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(attrs):
+                raise SchemaError(
+                    f"{path}:{line_no}: expected {len(attrs)} values, "
+                    f"got {len(row)}")
+            rows.append(tuple(_parse_value(a, v)
+                              for a, v in zip(attrs, row)))
+    return Table.from_rows(schema, rows)
+
+
+def save_anatomized(published: AnatomizedTables,
+                    qit_path: str | Path,
+                    st_path: str | Path) -> None:
+    """Write the publication: the QIT and ST as two CSVs
+    (Definition 3's two released tables)."""
+    schema = published.schema
+    qit_path, st_path = Path(qit_path), Path(st_path)
+    with qit_path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(list(schema.qi_names) + ["Group-ID"])
+        for i in range(published.qit.n):
+            writer.writerow(published.qit.decode_row(i))
+    with st_path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["Group-ID", schema.sensitive.name, "Count"])
+        for i in range(len(published.st)):
+            writer.writerow(published.st.decode_record(i))
+
+
+def load_anatomized(schema: Schema, qit_path: str | Path,
+                    st_path: str | Path) -> AnatomizedTables:
+    """Load a publication written by :func:`save_anatomized`.
+
+    The result has no attached partition (an analyst or adversary sees
+    only the released tables), which is exactly the information model of
+    Section 3.2.
+    """
+    import numpy as np
+
+    from repro.core.tables import (
+        AnatomizedTables,
+        QuasiIdentifierTable,
+        SensitiveTable,
+    )
+
+    qit_path, st_path = Path(qit_path), Path(st_path)
+    qi_attrs = schema.qi_attributes
+
+    with qit_path.open(newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        expected = list(schema.qi_names) + ["Group-ID"]
+        if header != expected:
+            raise SchemaError(
+                f"QIT header {header} does not match {expected}")
+        qi_rows, gids = [], []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(qi_attrs) + 1:
+                raise SchemaError(f"{qit_path}:{line_no}: bad arity")
+            qi_rows.append([a.encode(_parse_value(a, v))
+                            for a, v in zip(qi_attrs, row)])
+            gids.append(int(row[-1]))
+    qit = QuasiIdentifierTable(
+        schema,
+        np.asarray(qi_rows, dtype=np.int32).reshape(len(qi_rows),
+                                                    len(qi_attrs)),
+        np.asarray(gids, dtype=np.int32))
+
+    with st_path.open(newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader, None)
+        expected = ["Group-ID", schema.sensitive.name, "Count"]
+        if header != expected:
+            raise SchemaError(
+                f"ST header {header} does not match {expected}")
+        st_gids, st_codes, st_counts = [], [], []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 3:
+                raise SchemaError(f"{st_path}:{line_no}: bad arity")
+            st_gids.append(int(row[0]))
+            st_codes.append(schema.sensitive.encode(
+                _parse_value(schema.sensitive, row[1])))
+            st_counts.append(int(row[2]))
+    st = SensitiveTable(schema,
+                        np.asarray(st_gids, dtype=np.int32),
+                        np.asarray(st_codes, dtype=np.int32),
+                        np.asarray(st_counts, dtype=np.int64))
+
+    if qit.n != sum(st.group_size(g)
+                    for g in {int(v) for v in st.group_ids}):
+        raise SchemaError(
+            "QIT row count and ST counts disagree; the files do not "
+            "form a consistent publication")
+    return AnatomizedTables(schema, qit, st, partition=None)
+
+
+def _format_interval(attr, lo: int, hi: int) -> str:
+    if lo == hi:
+        return str(attr.decode(lo))
+    return f"{attr.decode(lo)}..{attr.decode(hi)}"
+
+
+def save_generalized(published: GeneralizedTable,
+                     path: str | Path) -> None:
+    """Write a generalized table as a decoded CSV: one row per tuple,
+    interval QI values (``lo..hi``), exact sensitive value, Group-ID."""
+    schema = published.schema
+    path = Path(path)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(list(schema.qi_names)
+                        + [schema.sensitive.name, "Group-ID"])
+        for group in published:
+            rendered = [
+                _format_interval(attr, lo, hi)
+                for attr, (lo, hi) in zip(schema.qi_attributes,
+                                          group.intervals)
+            ]
+            for code in group.sensitive_codes:
+                writer.writerow(
+                    rendered + [schema.sensitive.decode(int(code)),
+                                group.group_id])

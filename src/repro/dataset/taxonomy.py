@@ -1,0 +1,206 @@
+"""Taxonomy trees constraining categorical generalization.
+
+The paper's Table 6 specifies, per CENSUS attribute, how the generalization
+baseline may recode it: numerical attributes use a "free interval" (end
+points anywhere in the domain), while categorical attributes use a
+"taxonomy tree (x)" — the end points of a generalized interval must lie on
+the boundaries of a taxonomy of height ``x`` (LeFevre et al. [8]).
+
+We model a taxonomy as a balanced hierarchy over the ordered domain
+``0 .. size-1``, built top-down: the root covers the whole domain and each
+node splits into (up to) ``fanout`` children of near-equal width, down to
+level ``height``.  Construction is explicitly recursive, so the tree
+*nests* by construction — every level-k node lies inside exactly one
+level-(k-1) node, including for domain sizes that are not powers of the
+fanout.  Generalizing a value *to level k* returns the code interval of
+the level-k node containing it; intervals at one level are pairwise
+disjoint and cover the domain (the "single-dimension encoding" property
+of Section 2).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.exceptions import SchemaError
+
+
+def _split_node(lo: int, hi: int, fanout: int) -> list[tuple[int, int]]:
+    """Split ``[lo, hi]`` into up to ``fanout`` near-equal child
+    intervals (wider children first)."""
+    width = hi - lo + 1
+    parts = min(fanout, width)
+    base, extra = divmod(width, parts)
+    children = []
+    start = lo
+    for i in range(parts):
+        w = base + (1 if i < extra else 0)
+        children.append((start, start + w - 1))
+        start += w
+    return children
+
+
+class Taxonomy:
+    """A balanced taxonomy tree over an ordered domain of integer codes.
+
+    Parameters
+    ----------
+    size:
+        Domain size of the attribute.
+    height:
+        Number of levels below the root.  ``height=0`` means the only
+        generalization is the full domain; the paper's "taxonomy tree (x)"
+        uses ``height=x``.
+    fanout:
+        Children per node.  The default 0 derives the smallest fanout
+        whose ``height``-level tree resolves individual values
+        (``fanout ** height >= size``), so leaves are exact values
+        whenever possible.
+    """
+
+    __slots__ = ("size", "height", "fanout", "_levels")
+
+    def __init__(self, size: int, height: int, fanout: int = 0) -> None:
+        if size < 1:
+            raise SchemaError(f"taxonomy size must be >= 1, got {size}")
+        if height < 0:
+            raise SchemaError(f"taxonomy height must be >= 0, got {height}")
+        self.size = int(size)
+        self.height = int(height)
+        if fanout:
+            self.fanout = int(fanout)
+        elif height == 0 or size == 1:
+            self.fanout = 1
+        else:
+            f = max(2, int(round(size ** (1.0 / height))))
+            while f ** height < size:
+                f += 1
+            while f > 2 and (f - 1) ** height >= size:
+                f -= 1
+            self.fanout = f
+        if self.fanout < 1:
+            raise SchemaError("taxonomy fanout must be >= 1")
+
+        # _levels[k] = sorted list of node intervals (lo, hi) at level k.
+        levels: list[list[tuple[int, int]]] = [[(0, self.size - 1)]]
+        for _ in range(self.height):
+            children: list[tuple[int, int]] = []
+            for lo, hi in levels[-1]:
+                children.extend(_split_node(lo, hi, self.fanout))
+            levels.append(children)
+        self._levels = levels
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self.height:
+            raise SchemaError(
+                f"level {level} out of range [0, {self.height}]")
+
+    def _check_code(self, code: int) -> None:
+        if not 0 <= code < self.size:
+            raise SchemaError(
+                f"code {code} outside domain [0, {self.size - 1}]")
+
+    def nodes(self, level: int) -> list[tuple[int, int]]:
+        """All node intervals at ``level`` (sorted, disjoint, covering
+        the domain)."""
+        self._check_level(level)
+        return list(self._levels[level])
+
+    def level_width(self, level: int) -> int:
+        """Width (in codes) of the widest node at ``level``."""
+        self._check_level(level)
+        return max(hi - lo + 1 for lo, hi in self._levels[level])
+
+    def interval(self, code: int, level: int) -> tuple[int, int]:
+        """The code interval ``[lo, hi]`` of the level-``level`` node
+        containing ``code``.
+
+        ``level = 0`` returns the full domain; ``level = height`` returns
+        the narrowest permitted interval (the exact value when the tree
+        resolves individual codes).
+        """
+        self._check_code(code)
+        self._check_level(level)
+        nodes = self._levels[level]
+        i = bisect.bisect_right(nodes, (code, self.size)) - 1
+        lo, hi = nodes[i]
+        if not lo <= code <= hi:  # pragma: no cover - structural safety
+            raise AssertionError("taxonomy levels must cover the domain")
+        return lo, hi
+
+    def generalize_interval(self, lo: int, hi: int) -> tuple[int, int, int]:
+        """The finest taxonomy node covering ``[lo, hi]``.
+
+        Returns ``(level, node_lo, node_hi)`` for the deepest level whose
+        node containing ``lo`` also contains ``hi``.  Used by the Mondrian
+        recoder to snap a partition's extent onto taxonomy boundaries.
+        """
+        if not (0 <= lo <= hi < self.size):
+            raise SchemaError(
+                f"invalid interval [{lo}, {hi}] for domain size {self.size}")
+        for level in range(self.height, -1, -1):
+            node_lo, node_hi = self.interval(lo, level)
+            if node_hi >= hi:
+                return level, node_lo, node_hi
+        raise AssertionError(
+            "root must cover every interval")  # pragma: no cover
+
+    def allowed_cuts(self, lo: int, hi: int) -> list[int]:
+        """Split positions inside ``[lo, hi]`` that respect the taxonomy.
+
+        A cut at position ``c`` splits the interval into ``[lo, c]`` and
+        ``[c+1, hi]``.  Only node boundaries (at any level) are allowed,
+        which is how Mondrian honours "taxonomy tree (x)" recoding.  The
+        returned positions are sorted and strictly inside the interval.
+        """
+        if not (0 <= lo <= hi < self.size):
+            raise SchemaError(
+                f"invalid interval [{lo}, {hi}] for domain size {self.size}")
+        cuts: set[int] = set()
+        for level in range(1, self.height + 1):
+            for node_lo, node_hi in self._levels[level]:
+                if lo <= node_hi < hi:
+                    cuts.add(node_hi)
+        return sorted(cuts)
+
+    def __repr__(self) -> str:
+        return (f"Taxonomy(size={self.size}, height={self.height}, "
+                f"fanout={self.fanout})")
+
+
+class FreeTaxonomy(Taxonomy):
+    """A degenerate taxonomy allowing arbitrary interval end points.
+
+    Implements the paper's "free interval" generalization for numerical
+    attributes: any cut position is allowed and any interval is already on
+    a "boundary".  All methods are overridden with O(1)/O(width) forms, so
+    large numeric domains never materialize level tables.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise SchemaError(f"taxonomy size must be >= 1, got {size}")
+        # Initialize as a height-0 tree (root only); behaviour below
+        # treats every position as a boundary.
+        super().__init__(size=size, height=0, fanout=1)
+
+    def level_width(self, level: int) -> int:
+        return self.size if level == 0 else 1
+
+    def interval(self, code: int, level: int) -> tuple[int, int]:
+        self._check_code(code)
+        if level == 0:
+            return 0, self.size - 1
+        return code, code
+
+    def generalize_interval(self, lo: int, hi: int) -> tuple[int, int, int]:
+        if not (0 <= lo <= hi < self.size):
+            raise SchemaError(
+                f"invalid interval [{lo}, {hi}] for domain size {self.size}")
+        return (0 if (lo, hi) == (0, self.size - 1) else 1, lo, hi)
+
+    def allowed_cuts(self, lo: int, hi: int) -> list[int]:
+        if not (0 <= lo <= hi < self.size):
+            raise SchemaError(
+                f"invalid interval [{lo}, {hi}] for domain size {self.size}")
+        return list(range(lo, hi))

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries while still distinguishing the
+failure modes that matter (schema misuse, infeasible privacy requirements,
+storage misuse).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table or query referenced attributes inconsistently.
+
+    Raised, for example, when a column name is unknown, when column lengths
+    disagree, or when a value lies outside its attribute's declared domain.
+    """
+
+
+class EligibilityError(ReproError):
+    """The microdata cannot satisfy the requested l-diversity level.
+
+    The eligibility condition (proof of Property 1 in the paper, originally
+    from Machanavajjhala et al.) requires that at most ``n / l`` tuples share
+    any single sensitive value.  When it is violated *no* l-diverse partition
+    exists, so neither anatomy nor generalization can provide the requested
+    privacy level.
+    """
+
+    def __init__(self, message: str, *, value=None, count: int = 0,
+                 limit: float = 0.0) -> None:
+        super().__init__(message)
+        #: The offending sensitive value (most frequent one), if known.
+        self.value = value
+        #: Number of tuples carrying :attr:`value`.
+        self.count = count
+        #: Maximum allowed count, ``n / l``.
+        self.limit = limit
+
+
+class PartitionError(ReproError):
+    """A partition violates a structural invariant.
+
+    Raised when QI-groups overlap, do not cover the microdata, or fail the
+    diversity requirement they were claimed to satisfy.
+    """
+
+
+class StorageError(ReproError):
+    """The simulated storage engine was misused.
+
+    Examples: writing a record larger than a page, reading past the end of a
+    heap file, or requesting a buffer pool with no frames.
+    """
+
+
+class QueryError(ReproError):
+    """A query is malformed with respect to the table it targets."""

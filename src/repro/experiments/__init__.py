@@ -1,0 +1,62 @@
+"""Experiment harness: parameter grids, per-figure drivers, reporting."""
+
+from repro.experiments.charts import ascii_chart, figure_charts
+from repro.experiments.config import (
+    DEFAULT_CONFIG,
+    PAPER_CONFIG,
+    SMOKE_CONFIG,
+    ExperimentConfig,
+)
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureResult,
+    Series,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.experiments.report import (
+    figure_markdown,
+    render_figure,
+    render_series,
+    summarize_shape,
+)
+from repro.experiments.runner import (
+    AccuracyPoint,
+    IOPoint,
+    PublicationCache,
+    accuracy_point,
+    census_view,
+    io_point,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "ascii_chart",
+    "figure_charts",
+    "AccuracyPoint",
+    "DEFAULT_CONFIG",
+    "ExperimentConfig",
+    "FigureResult",
+    "IOPoint",
+    "PAPER_CONFIG",
+    "PublicationCache",
+    "SMOKE_CONFIG",
+    "Series",
+    "accuracy_point",
+    "census_view",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure_markdown",
+    "io_point",
+    "render_figure",
+    "render_series",
+    "summarize_shape",
+]

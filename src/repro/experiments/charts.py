@@ -1,0 +1,132 @@
+"""ASCII charts mirroring the paper's log-scale figure style.
+
+The paper's evaluation figures are log-y line plots with two series
+(generalization above, anatomy below).  :func:`ascii_chart` renders a
+:class:`~repro.experiments.figures.Series` the same way in a terminal:
+a fixed-height character grid, log or linear y scale, one marker per
+series (``a`` = anatomy, ``g`` = generalization, ``*`` where they
+collide), with axis labels.
+
+Pure string manipulation — no plotting dependency — and fully unit
+tested, so the benches can embed readable charts in their output.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ReproError
+from repro.experiments.figures import FigureResult, Series
+
+ANATOMY_MARK = "a"
+GENERALIZATION_MARK = "g"
+COLLISION_MARK = "*"
+
+
+def _nice_log_ticks(lo: float, hi: float) -> list[float]:
+    """Powers of 10 covering [lo, hi]."""
+    start = math.floor(math.log10(lo))
+    end = math.ceil(math.log10(hi))
+    return [10.0 ** e for e in range(start, end + 1)]
+
+
+def _format_tick(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 1:
+        return f"{value:g}"
+    return f"{value:.2g}"
+
+
+def ascii_chart(series: Series, height: int = 12, width: int = 56,
+                log_y: bool = True, y_label: str = "") -> str:
+    """Render one panel as an ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        The x values and the two y series to plot.
+    height, width:
+        Plot-area size in characters (excluding axes).
+    log_y:
+        Log-scale the y axis (the paper's figures are log-scale).
+    y_label:
+        Optional label printed above the axis.
+    """
+    if height < 3 or width < 2 * len(series.xs):
+        raise ReproError("chart area too small for the series")
+    values = [v for v in series.anatomy + series.generalization if v > 0]
+    if not values:
+        raise ReproError("nothing to plot")
+    lo, hi = min(values), max(values)
+    if log_y and lo <= 0:
+        raise ReproError("log scale requires positive values")
+    if lo == hi:
+        hi = lo * 10 if log_y else lo + 1
+
+    def to_row(value: float) -> int | None:
+        if value <= 0:
+            return None
+        if log_y:
+            frac = ((math.log10(value) - math.log10(lo))
+                    / (math.log10(hi) - math.log10(lo)))
+        else:
+            frac = (value - lo) / (hi - lo)
+        frac = min(1.0, max(0.0, frac))
+        return height - 1 - round(frac * (height - 1))
+
+    n = len(series.xs)
+    # x positions spread evenly over the width
+    columns = [round(i * (width - 1) / max(1, n - 1)) for i in range(n)]
+
+    grid = [[" "] * width for _ in range(height)]
+    for i in range(n):
+        col = columns[i]
+        for value, mark in ((series.anatomy[i], ANATOMY_MARK),
+                            (series.generalization[i],
+                             GENERALIZATION_MARK)):
+            row = to_row(value)
+            if row is None:
+                continue
+            cell = grid[row][col]
+            grid[row][col] = (COLLISION_MARK
+                              if cell not in (" ", mark) else mark)
+
+    # y-axis tick labels at top / bottom
+    label_width = max(len(_format_tick(hi)), len(_format_tick(lo)))
+    lines = []
+    title = series.label + (f"  ({y_label})" if y_label else "")
+    lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            tick = _format_tick(hi)
+        elif r == height - 1:
+            tick = _format_tick(lo)
+        else:
+            tick = ""
+        lines.append(f"{tick:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    # x labels under their columns (first and last, plus middle)
+    x_line = [" "] * (width + label_width + 2)
+    for i in (0, n // 2, n - 1):
+        text = str(series.xs[i])
+        pos = label_width + 2 + columns[i]
+        for k, ch in enumerate(text):
+            if pos + k < len(x_line):
+                x_line[pos + k] = ch
+    lines.append("".join(x_line).rstrip())
+    lines.append(f"{'':>{label_width}}  [{ANATOMY_MARK}=anatomy, "
+                 f"{GENERALIZATION_MARK}=generalization, "
+                 f"{COLLISION_MARK}=both]"
+                 + ("  (log scale)" if log_y else ""))
+    return "\n".join(lines)
+
+
+def figure_charts(result: FigureResult, **kwargs) -> str:
+    """All panels of a figure as stacked ASCII charts."""
+    parts = [f"== {result.figure_id}: {result.title} =="]
+    for series in result.series:
+        parts.append("")
+        parts.append(ascii_chart(series, y_label=result.y_name,
+                                 **kwargs))
+    return "\n".join(parts)

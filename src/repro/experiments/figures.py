@@ -1,0 +1,217 @@
+"""Per-figure experiment drivers (paper Figures 4-9).
+
+Each ``figure*`` function sweeps the parameter its figure varies, holding
+the rest at Table 7 defaults, and returns :class:`FigureResult` — the
+series the paper plots (one pair of anatomy/generalization values per x
+point, one panel per dataset).  Rendering to text lives in
+:mod:`repro.experiments.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataset.census import (
+    SENSITIVE_OCCUPATION,
+    SENSITIVE_SALARY,
+    CensusDataset,
+)
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import (
+    PublicationCache,
+    accuracy_point,
+    census_view,
+    io_point,
+)
+
+
+@dataclass
+class Series:
+    """One panel of a figure: x values and the two methods' y values."""
+
+    label: str
+    x_name: str
+    xs: list = field(default_factory=list)
+    anatomy: list = field(default_factory=list)
+    generalization: list = field(default_factory=list)
+
+    def ratio(self) -> list[float]:
+        """generalization / anatomy per point — the paper's
+        "orders of magnitude" claim reads off this."""
+        return [g / a if a else float("inf")
+                for a, g in zip(self.anatomy, self.generalization)]
+
+
+@dataclass
+class FigureResult:
+    """All panels of one paper figure."""
+
+    figure_id: str
+    title: str
+    y_name: str
+    series: list[Series] = field(default_factory=list)
+
+
+def _dataset(config: ExperimentConfig) -> CensusDataset:
+    return CensusDataset(n=config.population, seed=config.data_seed)
+
+
+def _sensitives() -> list[tuple[str, str]]:
+    return [("OCC", SENSITIVE_OCCUPATION), ("SAL", SENSITIVE_SALARY)]
+
+
+def figure4(config: ExperimentConfig = DEFAULT_CONFIG,
+            dataset: CensusDataset | None = None) -> FigureResult:
+    """Figure 4: average relative error vs number of QI attributes d
+    (qd = d, s = default, n = default)."""
+    dataset = dataset or _dataset(config)
+    cache = PublicationCache(config)
+    result = FigureResult("fig4", "Query accuracy vs d",
+                          "average relative error (%)")
+    for name, sensitive in _sensitives():
+        series = Series(f"{name}-d", "d")
+        for d in config.d_values:
+            table = census_view(dataset, d, sensitive, config.default_n)
+            estimators = cache.estimators(
+                table, (name, d, config.default_n))
+            point = accuracy_point(
+                table, config.l, config.default_qd(d), config.default_s,
+                config.queries_per_workload,
+                workload_seed=config.workload_seed,
+                estimators=estimators)
+            series.xs.append(d)
+            series.anatomy.append(point.anatomy_error_pct)
+            series.generalization.append(point.generalization_error_pct)
+        result.series.append(series)
+    return result
+
+
+def figure5(config: ExperimentConfig = DEFAULT_CONFIG,
+            dataset: CensusDataset | None = None) -> FigureResult:
+    """Figure 5: error vs query dimensionality qd, for d in the focus set
+    (3, 5, 7), both datasets — six panels in the paper."""
+    dataset = dataset or _dataset(config)
+    cache = PublicationCache(config)
+    result = FigureResult("fig5", "Query accuracy vs qd",
+                          "average relative error (%)")
+    for d in config.focus_d_values:
+        for name, sensitive in _sensitives():
+            table = census_view(dataset, d, sensitive, config.default_n)
+            estimators = cache.estimators(
+                table, (name, d, config.default_n))
+            series = Series(f"{name}-{d}", "qd")
+            for qd in range(1, d + 1):
+                point = accuracy_point(
+                    table, config.l, qd, config.default_s,
+                    config.queries_per_workload,
+                    workload_seed=config.workload_seed,
+                    estimators=estimators)
+                series.xs.append(qd)
+                series.anatomy.append(point.anatomy_error_pct)
+                series.generalization.append(
+                    point.generalization_error_pct)
+            result.series.append(series)
+    return result
+
+
+def figure6(config: ExperimentConfig = DEFAULT_CONFIG,
+            dataset: CensusDataset | None = None) -> FigureResult:
+    """Figure 6: error vs expected selectivity s, for d in the focus set,
+    both datasets (qd = d)."""
+    dataset = dataset or _dataset(config)
+    cache = PublicationCache(config)
+    result = FigureResult("fig6", "Query accuracy vs selectivity",
+                          "average relative error (%)")
+    for d in config.focus_d_values:
+        for name, sensitive in _sensitives():
+            table = census_view(dataset, d, sensitive, config.default_n)
+            estimators = cache.estimators(
+                table, (name, d, config.default_n))
+            series = Series(f"{name}-{d}", "s")
+            for s in config.selectivities:
+                point = accuracy_point(
+                    table, config.l, config.default_qd(d), s,
+                    config.queries_per_workload,
+                    workload_seed=config.workload_seed,
+                    estimators=estimators)
+                series.xs.append(s)
+                series.anatomy.append(point.anatomy_error_pct)
+                series.generalization.append(
+                    point.generalization_error_pct)
+            result.series.append(series)
+    return result
+
+
+def figure7(config: ExperimentConfig = DEFAULT_CONFIG,
+            dataset: CensusDataset | None = None) -> FigureResult:
+    """Figure 7: error vs cardinality n (d = default, qd = d,
+    s = default), OCC-5 and SAL-5."""
+    dataset = dataset or _dataset(config)
+    cache = PublicationCache(config)
+    d = config.default_d
+    result = FigureResult("fig7", "Query accuracy vs cardinality",
+                          "average relative error (%)")
+    for name, sensitive in _sensitives():
+        series = Series(f"{name}-{d}", "n")
+        for n in config.cardinalities:
+            table = census_view(dataset, d, sensitive, n)
+            estimators = cache.estimators(table, (name, d, n))
+            point = accuracy_point(
+                table, config.l, config.default_qd(d), config.default_s,
+                config.queries_per_workload,
+                workload_seed=config.workload_seed,
+                estimators=estimators)
+            series.xs.append(n)
+            series.anatomy.append(point.anatomy_error_pct)
+            series.generalization.append(point.generalization_error_pct)
+        result.series.append(series)
+    return result
+
+
+def figure8(config: ExperimentConfig = DEFAULT_CONFIG,
+            dataset: CensusDataset | None = None) -> FigureResult:
+    """Figure 8: I/O cost vs number of QI attributes d (n = default)."""
+    dataset = dataset or _dataset(config)
+    result = FigureResult("fig8", "I/O cost vs d", "I/O (pages)")
+    for name, sensitive in _sensitives():
+        series = Series(f"{name}-d", "d")
+        for d in config.d_values:
+            table = census_view(dataset, d, sensitive, config.default_n)
+            point = io_point(table, config.l,
+                             algorithm_seed=config.algorithm_seed)
+            series.xs.append(d)
+            series.anatomy.append(point.anatomy_io)
+            series.generalization.append(point.generalization_io)
+        result.series.append(series)
+    return result
+
+
+def figure9(config: ExperimentConfig = DEFAULT_CONFIG,
+            dataset: CensusDataset | None = None) -> FigureResult:
+    """Figure 9: I/O cost vs cardinality n (d = default), OCC-5 and
+    SAL-5."""
+    dataset = dataset or _dataset(config)
+    d = config.default_d
+    result = FigureResult("fig9", "I/O cost vs cardinality",
+                          "I/O (pages)")
+    for name, sensitive in _sensitives():
+        series = Series(f"{name}-{d}", "n")
+        for n in config.cardinalities:
+            table = census_view(dataset, d, sensitive, n)
+            point = io_point(table, config.l,
+                             algorithm_seed=config.algorithm_seed)
+            series.xs.append(n)
+            series.anatomy.append(point.anatomy_io)
+            series.generalization.append(point.generalization_io)
+        result.series.append(series)
+    return result
+
+
+ALL_FIGURES = {
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+}

@@ -1,0 +1,86 @@
+"""Rendering experiment results as text tables and markdown.
+
+The paper presents its evaluation as log-scale line plots; in a terminal
+we render the same series as aligned tables (one row per x value, columns
+for anatomy, generalization, and their ratio), which makes the paper's
+qualitative claims — who wins, by what factor, where curves bend — directly
+readable.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.experiments.figures import FigureResult, Series
+
+
+def _format_value(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def _format_x(x) -> str:
+    if isinstance(x, float):
+        return f"{x:g}"
+    return f"{x:,}" if isinstance(x, int) and x >= 10_000 else str(x)
+
+
+def render_series(series: Series, y_name: str) -> str:
+    """One panel as an aligned text table."""
+    header = (f"{series.x_name:>10} | {'anatomy':>14} | "
+              f"{'generalization':>14} | {'gen/ana':>9}")
+    lines = [f"-- {series.label} ({y_name}) --", header,
+             "-" * len(header)]
+    for x, a, g, r in zip(series.xs, series.anatomy,
+                          series.generalization, series.ratio()):
+        lines.append(
+            f"{_format_x(x):>10} | {_format_value(a):>14} | "
+            f"{_format_value(g):>14} | {r:>8.1f}x")
+    return "\n".join(lines)
+
+
+def render_figure(result: FigureResult) -> str:
+    """A whole figure as stacked panels."""
+    out = StringIO()
+    out.write(f"== {result.figure_id}: {result.title} ==\n")
+    for series in result.series:
+        out.write("\n")
+        out.write(render_series(series, result.y_name))
+        out.write("\n")
+    return out.getvalue()
+
+
+def figure_markdown(result: FigureResult) -> str:
+    """A whole figure as GitHub-flavored markdown tables (used to build
+    EXPERIMENTS.md)."""
+    out = StringIO()
+    out.write(f"### {result.figure_id}: {result.title}\n\n")
+    for series in result.series:
+        out.write(f"**{series.label}** ({result.y_name})\n\n")
+        out.write(f"| {series.x_name} | anatomy | generalization | "
+                  f"gen/ana |\n")
+        out.write("|---|---|---|---|\n")
+        for x, a, g, r in zip(series.xs, series.anatomy,
+                              series.generalization, series.ratio()):
+            out.write(f"| {_format_x(x)} | {_format_value(a)} | "
+                      f"{_format_value(g)} | {r:.1f}x |\n")
+        out.write("\n")
+    return out.getvalue()
+
+
+def summarize_shape(result: FigureResult) -> dict[str, dict[str, float]]:
+    """Headline shape statistics per panel: anatomy max, generalization
+    max, and worst/best ratios — what the reproduction contract checks."""
+    summary: dict[str, dict[str, float]] = {}
+    for series in result.series:
+        ratios = series.ratio()
+        summary[series.label] = {
+            "anatomy_max": max(series.anatomy),
+            "generalization_max": max(series.generalization),
+            "min_ratio": min(ratios),
+            "max_ratio": max(ratios),
+        }
+    return summary

@@ -1,0 +1,73 @@
+"""The generalization baseline anatomy is evaluated against.
+
+* :mod:`repro.generalization.mondrian` — Mondrian multidimensional
+  recoding (LeFevre et al. [9]) adapted to l-diversity, the paper's
+  comparison algorithm.
+* :mod:`repro.generalization.recoding` — free-interval vs taxonomy-tree
+  recoders (paper Table 6).
+* :mod:`repro.generalization.generalized_table` — the published form
+  (Definition 4).
+* :mod:`repro.generalization.privacy` — the adversary model against
+  generalized tables (Section 3.3).
+* :mod:`repro.generalization.metrics` — discernibility, NCP, retained
+  mutual information, box-coverage loss measures.
+"""
+
+from repro.generalization.fulldomain import (
+    FullDomainResult,
+    default_hierarchies,
+    full_domain_generalize,
+)
+from repro.generalization.generalized_table import (
+    GeneralizedGroup,
+    GeneralizedTable,
+)
+from repro.generalization.metrics import (
+    average_group_volume,
+    discernibility,
+    normalized_certainty_penalty,
+    qi_box_coverage,
+    sensitive_kl_divergence,
+)
+from repro.generalization.mondrian import (
+    MondrianConfig,
+    MondrianStats,
+    mondrian,
+    mondrian_partition,
+    mondrian_with_partition,
+)
+from repro.generalization.privacy import (
+    GeneralizationAdversary,
+    verify_generalization_guarantee,
+)
+from repro.generalization.recoding import (
+    Recoder,
+    TaxonomyRecoder,
+    census_recoder,
+)
+from repro.generalization.suppression import SuppressionResult, suppress
+
+__all__ = [
+    "FullDomainResult",
+    "GeneralizationAdversary",
+    "GeneralizedGroup",
+    "GeneralizedTable",
+    "MondrianConfig",
+    "MondrianStats",
+    "Recoder",
+    "SuppressionResult",
+    "TaxonomyRecoder",
+    "average_group_volume",
+    "census_recoder",
+    "default_hierarchies",
+    "discernibility",
+    "full_domain_generalize",
+    "mondrian",
+    "mondrian_partition",
+    "mondrian_with_partition",
+    "normalized_certainty_penalty",
+    "qi_box_coverage",
+    "sensitive_kl_divergence",
+    "suppress",
+    "verify_generalization_guarantee",
+]

@@ -1,0 +1,211 @@
+"""Generalized tables (paper Definition 4).
+
+A generalized table renders a partition by replacing each tuple's QI values
+with group-wide intervals: tuple ``t`` in group ``QI_j`` is published as
+``(QI_j[1], ..., QI_j[d], t[d+1])`` where ``QI_j[i]`` is an interval
+covering ``t[i]`` and identical for all tuples of the group.  Sensitive
+values are published exactly (that is the scheme anatomy competes with).
+
+We store one :class:`GeneralizedGroup` per QI-group — the d intervals (as
+inclusive code ranges) plus the multiset of sensitive codes — rather than
+materializing n identical rows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.core.partition import Partition
+from repro.dataset.schema import Schema
+from repro.exceptions import PartitionError, SchemaError
+
+
+class GeneralizedGroup:
+    """One QI-group of a generalized table.
+
+    Parameters
+    ----------
+    group_id:
+        1-based group identifier.
+    intervals:
+        Per QI attribute, the inclusive code interval ``(lo, hi)``
+        published for the group.
+    sensitive_codes:
+        Sensitive codes of the group's tuples (one entry per tuple; exact
+        values, per Definition 4).
+    """
+
+    __slots__ = ("group_id", "intervals", "sensitive_codes", "_hist")
+
+    def __init__(self, group_id: int,
+                 intervals: Sequence[tuple[int, int]],
+                 sensitive_codes: np.ndarray) -> None:
+        self.group_id = int(group_id)
+        self.intervals: tuple[tuple[int, int], ...] = tuple(
+            (int(lo), int(hi)) for lo, hi in intervals)
+        for lo, hi in self.intervals:
+            if lo > hi:
+                raise PartitionError(
+                    f"group {group_id}: invalid interval [{lo}, {hi}]")
+        self.sensitive_codes = np.asarray(sensitive_codes, dtype=np.int32)
+        if len(self.sensitive_codes) == 0:
+            raise PartitionError(f"group {group_id} is empty")
+        self._hist: dict[int, int] | None = None
+
+    @property
+    def size(self) -> int:
+        return len(self.sensitive_codes)
+
+    def __len__(self) -> int:
+        return len(self.sensitive_codes)
+
+    def interval_lengths(self) -> tuple[int, ...]:
+        """``L(QI[i])`` per QI attribute: the number of domain values each
+        published interval covers (Section 4)."""
+        return tuple(hi - lo + 1 for lo, hi in self.intervals)
+
+    def box_volume(self) -> int:
+        """``prod_i L(QI[i])`` — the cell count of the group's QI box."""
+        volume = 1
+        for length in self.interval_lengths():
+            volume *= length
+        return volume
+
+    def sensitive_histogram(self) -> dict[int, int]:
+        if self._hist is None:
+            codes, counts = np.unique(self.sensitive_codes,
+                                      return_counts=True)
+            self._hist = {int(c): int(k) for c, k in zip(codes, counts)}
+        return self._hist
+
+    def max_sensitive_count(self) -> int:
+        return max(self.sensitive_histogram().values())
+
+    def contains_qi(self, qi_codes: Sequence[int]) -> bool:
+        """Whether a QI code vector falls inside the group's box."""
+        return all(lo <= int(c) <= hi
+                   for c, (lo, hi) in zip(qi_codes, self.intervals))
+
+    def overlap_fraction(
+            self, ranges: Sequence[tuple[int, int] | None]) -> float:
+        """Fraction of the group's box volume inside the given query box.
+
+        ``ranges[i]`` is an inclusive code range on QI attribute ``i`` (or
+        ``None`` for no constraint).  This is the uniform-assumption
+        probability ``p`` of Section 1.1 for contiguous range predicates;
+        the estimator for disjunctive IN predicates computes per-dimension
+        overlap counts instead (see
+        :mod:`repro.query.estimators`).
+        """
+        fraction = 1.0
+        for (lo, hi), qr in zip(self.intervals, ranges):
+            if qr is None:
+                continue
+            qlo, qhi = qr
+            overlap = min(hi, qhi) - max(lo, qlo) + 1
+            if overlap <= 0:
+                return 0.0
+            fraction *= overlap / (hi - lo + 1)
+        return fraction
+
+    def __repr__(self) -> str:
+        return (f"GeneralizedGroup(id={self.group_id}, size={self.size}, "
+                f"volume={self.box_volume()})")
+
+
+class GeneralizedTable:
+    """A complete generalized publication: groups with interval QI values.
+
+    Parameters
+    ----------
+    schema:
+        The microdata schema.
+    groups:
+        The generalized groups, in Group-ID order.
+    """
+
+    __slots__ = ("schema", "groups")
+
+    def __init__(self, schema: Schema,
+                 groups: Sequence[GeneralizedGroup]) -> None:
+        self.schema = schema
+        self.groups: tuple[GeneralizedGroup, ...] = tuple(groups)
+        for k, g in enumerate(self.groups):
+            if g.group_id != k + 1:
+                raise PartitionError(
+                    f"group ids must be 1..m in order; found "
+                    f"{g.group_id} at position {k}")
+            if len(g.intervals) != schema.d:
+                raise SchemaError(
+                    f"group {g.group_id} has {len(g.intervals)} intervals, "
+                    f"schema expects {schema.d}")
+
+    @classmethod
+    def from_partition(cls, partition: Partition,
+                       recoder=None) -> "GeneralizedTable":
+        """Render a partition as a generalized table.
+
+        Each group's published interval on attribute ``i`` is the group's
+        code extent, optionally widened by ``recoder`` (e.g. snapped onto
+        taxonomy boundaries; see
+        :class:`repro.generalization.recoding.TaxonomyRecoder`).
+        """
+        table = partition.table
+        groups = []
+        for g in partition:
+            extents = g.qi_extent()
+            if recoder is not None:
+                extents = recoder.recode(table.schema, extents)
+            groups.append(GeneralizedGroup(
+                g.group_id, extents, g.sensitive_codes()))
+        return cls(table.schema, groups)
+
+    @property
+    def m(self) -> int:
+        return len(self.groups)
+
+    @property
+    def n(self) -> int:
+        return sum(g.size for g in self.groups)
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def __getitem__(self, j: int) -> GeneralizedGroup:
+        return self.groups[j]
+
+    def is_l_diverse(self, l: int) -> bool:
+        """Definition 2 applied to the published groups."""
+        return all(g.max_sensitive_count() * l <= g.size
+                   for g in self.groups)
+
+    def diversity(self) -> float:
+        """Largest l for which the table is l-diverse."""
+        if not self.groups:
+            return float("inf")
+        return min(g.size / g.max_sensitive_count() for g in self.groups)
+
+    def box_volumes_per_tuple(self) -> list[int]:
+        """Each tuple's QI-box volume, for RCE computation
+        (:func:`repro.core.rce.generalization_rce`)."""
+        volumes: list[int] = []
+        for g in self.groups:
+            volumes.extend([g.box_volume()] * g.size)
+        return volumes
+
+    def decode_group(self, j: int) -> list[tuple[Any, Any]]:
+        """Group ``j``'s intervals decoded to domain values
+        ``[(lo_value, hi_value), ...]``."""
+        group = self.groups[j]
+        out = []
+        for attr, (lo, hi) in zip(self.schema.qi_attributes,
+                                  group.intervals):
+            out.append((attr.decode(lo), attr.decode(hi)))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"GeneralizedTable(n={self.n}, m={self.m}, "
+                f"diversity={self.diversity():.3g})")

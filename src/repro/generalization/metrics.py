@@ -1,0 +1,109 @@
+"""Information-loss metrics for generalized tables.
+
+Beyond the paper's RCE (handled in :mod:`repro.core.rce`), Section 7 points
+at other loss measures from the generalization literature — the
+discernibility metric [4, 9] and KL divergence [7].  This module implements
+them, plus the normalized certainty penalty, so the ablation benchmarks can
+compare publication quality under several lenses.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.partition import Partition
+from repro.dataset.table import Table
+from repro.exceptions import ReproError
+from repro.generalization.generalized_table import GeneralizedTable
+
+
+def discernibility(table: GeneralizedTable | Partition) -> int:
+    """The discernibility metric: ``sum_j |QI_j|^2``.
+
+    Each tuple pays a penalty equal to the size of its group (it is
+    indistinguishable from that many tuples), so smaller groups are better.
+    Applies to any partition-based publication, anatomized or generalized.
+    """
+    groups = table.groups if isinstance(table, GeneralizedTable) else table
+    return sum(g.size ** 2 for g in groups)
+
+
+def normalized_certainty_penalty(table: GeneralizedTable) -> float:
+    """NCP: average over tuples of the mean normalized interval width.
+
+    For a tuple in a group with intervals of length ``L_i`` over domains of
+    size ``|A_i|``, the penalty is ``mean_i (L_i - 1) / (|A_i| - 1)``
+    (0 when every interval is a single value, 1 when everything is fully
+    generalized).  Degenerate domains of size 1 contribute 0.
+    """
+    schema = table.schema
+    sizes = [a.size for a in schema.qi_attributes]
+    total = 0.0
+    n = 0
+    for group in table:
+        widths = []
+        for (lo, hi), size in zip(group.intervals, sizes):
+            widths.append(0.0 if size <= 1
+                          else (hi - lo) / (size - 1))
+        total += group.size * (sum(widths) / len(widths))
+        n += group.size
+    if n == 0:
+        raise ReproError("empty generalized table")
+    return total / n
+
+
+def average_group_volume(table: GeneralizedTable) -> float:
+    """Mean QI-box volume over tuples — the quantity that explodes with
+    dimensionality (the "curse of dimensionality" of Section 2 [1])."""
+    total = sum(g.size * g.box_volume() for g in table)
+    n = table.n
+    if n == 0:
+        raise ReproError("empty generalized table")
+    return total / n
+
+
+def sensitive_kl_divergence(microdata: Table,
+                            partition: Partition) -> float:
+    """KL divergence between the true joint (group, sensitive) distribution
+    and the independence approximation an analyst gets from per-group
+    histograms.
+
+    For partition-based publications the per-group sensitive histograms
+    are exact, so this measures how much of the QI↔sensitive association
+    the *grouping itself* destroys: fine groups that mix dissimilar tuples
+    score higher.  Computed as
+
+        sum_j sum_v p(j, v) log( p(j, v) / (p(j) p(v)) )
+
+    i.e. the mutual information retained between group membership and the
+    sensitive attribute; *larger is better* (more association retained).
+    """
+    n = len(microdata)
+    if n == 0:
+        raise ReproError("empty microdata")
+    overall = microdata.sensitive_histogram()
+    p_v = {code: count / n for code, count in overall.items()}
+    mi = 0.0
+    for group in partition:
+        p_j = group.size / n
+        for code, count in group.sensitive_histogram().items():
+            p_jv = count / n
+            mi += p_jv * math.log(p_jv / (p_j * p_v[code]))
+    return mi
+
+
+def qi_box_coverage(table: GeneralizedTable) -> float:
+    """Fraction of the full QI domain volume covered by the average
+    group's box — a normalized curse-of-dimensionality indicator in
+    [0, 1]."""
+    schema = table.schema
+    full = 1.0
+    for attr in schema.qi_attributes:
+        full *= attr.size
+    vols = np.asarray([g.box_volume() for g in table], dtype=np.float64)
+    sizes = np.asarray([g.size for g in table], dtype=np.float64)
+    if sizes.sum() == 0:
+        raise ReproError("empty generalized table")
+    return float((vols * sizes).sum() / sizes.sum() / full)

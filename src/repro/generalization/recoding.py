@@ -1,0 +1,86 @@
+"""Recoders: snapping group extents onto the allowed generalization forms.
+
+The paper's Table 6 constrains how the generalization baseline may encode
+each attribute: numerical attributes use *free intervals* (any end points),
+categorical attributes must publish intervals whose end points lie on the
+boundaries of a taxonomy tree of a given height.  A recoder widens a
+group's raw code extent to the nearest permitted form.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.dataset.schema import Schema
+from repro.dataset.taxonomy import Taxonomy
+from repro.exceptions import SchemaError
+
+
+class Recoder:
+    """Base recoder: publish the raw extent unchanged (free intervals on
+    every attribute)."""
+
+    def recode(self, schema: Schema,
+               extents: Sequence[tuple[int, int]]
+               ) -> list[tuple[int, int]]:
+        """Widen raw per-attribute extents into publishable intervals."""
+        return [tuple(e) for e in extents]
+
+    def allowed_cuts(self, schema: Schema, qi_index: int,
+                     lo: int, hi: int) -> list[int]:
+        """Split positions Mondrian may use inside ``[lo, hi]`` on the
+        given QI attribute (free recoding allows every position)."""
+        return list(range(lo, hi))
+
+
+class TaxonomyRecoder(Recoder):
+    """Recoder honouring per-attribute taxonomies (paper Table 6).
+
+    Parameters
+    ----------
+    taxonomies:
+        Mapping from QI attribute name to its :class:`Taxonomy`.  Missing
+        attributes are treated as free-interval.
+    """
+
+    def __init__(self, taxonomies: Mapping[str, Taxonomy]) -> None:
+        self.taxonomies = dict(taxonomies)
+
+    def _taxonomy(self, schema: Schema, name: str) -> Taxonomy | None:
+        tax = self.taxonomies.get(name)
+        if tax is not None and tax.size != schema.attribute(name).size:
+            raise SchemaError(
+                f"taxonomy for {name!r} covers {tax.size} values; the "
+                f"attribute has {schema.attribute(name).size}")
+        return tax
+
+    def recode(self, schema: Schema,
+               extents: Sequence[tuple[int, int]]
+               ) -> list[tuple[int, int]]:
+        out: list[tuple[int, int]] = []
+        for attr, (lo, hi) in zip(schema.qi_attributes, extents):
+            tax = self._taxonomy(schema, attr.name)
+            if tax is None:
+                out.append((int(lo), int(hi)))
+            else:
+                _level, node_lo, node_hi = tax.generalize_interval(lo, hi)
+                out.append((node_lo, node_hi))
+        return out
+
+    def allowed_cuts(self, schema: Schema, qi_index: int,
+                     lo: int, hi: int) -> list[int]:
+        attr = schema.qi_attributes[qi_index]
+        tax = self._taxonomy(schema, attr.name)
+        if tax is None:
+            return list(range(lo, hi))
+        return tax.allowed_cuts(lo, hi)
+
+
+def census_recoder() -> TaxonomyRecoder:
+    """The recoder the paper's experiments use: Table 6's generalization
+    methods for the CENSUS QI attributes."""
+    from repro.dataset.census import QI_ATTRIBUTE_NAMES, census_taxonomy
+
+    return TaxonomyRecoder({
+        name: census_taxonomy(name) for name in QI_ATTRIBUTE_NAMES
+    })

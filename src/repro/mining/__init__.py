@@ -1,0 +1,32 @@
+"""Mining on published data (Section 7 future work): contingency-table
+reconstruction and downstream-model utility."""
+
+from repro.mining.classifier import (
+    NaiveBayes,
+    train_on_anatomy,
+    train_on_generalization,
+    train_on_microdata,
+    utility_comparison,
+)
+from repro.mining.contingency import (
+    anatomy_contingency,
+    exact_contingency,
+    generalization_contingency,
+    kl_divergence,
+    marginal_error,
+    total_variation,
+)
+
+__all__ = [
+    "NaiveBayes",
+    "anatomy_contingency",
+    "exact_contingency",
+    "generalization_contingency",
+    "kl_divergence",
+    "marginal_error",
+    "total_variation",
+    "train_on_anatomy",
+    "train_on_generalization",
+    "train_on_microdata",
+    "utility_comparison",
+]

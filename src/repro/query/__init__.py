@@ -1,0 +1,48 @@
+"""Aggregate-query layer: workloads, estimators, and the error metric
+(paper Section 6.1)."""
+
+from repro.query.aggregates import (
+    AnatomyAggregator,
+    ExactAggregator,
+    GeneralizationAggregator,
+    Measure,
+)
+from repro.query.estimators import (
+    AnatomyEstimator,
+    ExactEvaluator,
+    GeneralizationEstimator,
+)
+from repro.query.evaluate import (
+    WorkloadResult,
+    evaluate_workload,
+    evaluate_workload_many,
+    relative_error,
+)
+from repro.query.predicates import CountQuery
+from repro.query.workload import (
+    WorkloadGenerator,
+    expected_predicate_widths,
+    make_workload,
+    predicate_width,
+    workload_signature,
+)
+
+__all__ = [
+    "AnatomyAggregator",
+    "AnatomyEstimator",
+    "CountQuery",
+    "ExactAggregator",
+    "ExactEvaluator",
+    "GeneralizationAggregator",
+    "GeneralizationEstimator",
+    "Measure",
+    "WorkloadGenerator",
+    "WorkloadResult",
+    "evaluate_workload",
+    "evaluate_workload_many",
+    "expected_predicate_widths",
+    "make_workload",
+    "predicate_width",
+    "relative_error",
+    "workload_signature",
+]

@@ -1,0 +1,105 @@
+"""Workload evaluation and the paper's accuracy metric.
+
+Effectiveness is measured as the *average relative error* over a workload
+(Section 6.1): for each query, ``|act - est| / act`` where ``act`` is the
+true result on the microdata and ``est`` the estimate from the published
+tables.
+
+Queries with ``act = 0`` make the relative error undefined; following the
+standard practice for this metric, they are excluded from the average (the
+result records how many were excluded, so the workloads can be sized
+accordingly).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.query.predicates import CountQuery
+
+
+@dataclass
+class WorkloadResult:
+    """Per-workload accuracy summary for one estimator."""
+
+    #: Relative errors of the evaluated (non-zero-actual) queries.
+    errors: list[float] = field(default_factory=list)
+    #: Number of queries skipped because their actual result was zero.
+    skipped_zero_actual: int = 0
+    #: Actual and estimated results, aligned with :attr:`errors`.
+    actuals: list[float] = field(default_factory=list)
+    estimates: list[float] = field(default_factory=list)
+
+    @property
+    def evaluated(self) -> int:
+        return len(self.errors)
+
+    def average_relative_error(self) -> float:
+        """The paper's headline metric, as a fraction (multiply by 100
+        for the percentages plotted in Figures 4-7)."""
+        if not self.errors:
+            raise QueryError("no queries were evaluated")
+        return float(np.mean(self.errors))
+
+    def median_relative_error(self) -> float:
+        if not self.errors:
+            raise QueryError("no queries were evaluated")
+        return float(np.median(self.errors))
+
+    def percentile_relative_error(self, q: float) -> float:
+        if not self.errors:
+            raise QueryError("no queries were evaluated")
+        return float(np.percentile(self.errors, q))
+
+
+def relative_error(actual: float, estimate: float) -> float:
+    """``|act - est| / act``; raises on zero actual."""
+    if actual == 0:
+        raise QueryError("relative error undefined for actual = 0")
+    return abs(actual - estimate) / actual
+
+
+def evaluate_workload(queries: Sequence[CountQuery],
+                      exact, estimator) -> WorkloadResult:
+    """Run a workload through ``exact`` (truth) and ``estimator`` and
+    collect relative errors.
+
+    Both arguments expose ``estimate(query) -> float`` (see
+    :mod:`repro.query.estimators`).
+    """
+    result = WorkloadResult()
+    for query in queries:
+        actual = exact.estimate(query)
+        if actual == 0:
+            result.skipped_zero_actual += 1
+            continue
+        estimate = estimator.estimate(query)
+        result.actuals.append(actual)
+        result.estimates.append(estimate)
+        result.errors.append(abs(actual - estimate) / actual)
+    return result
+
+
+def evaluate_workload_many(queries: Sequence[CountQuery], exact,
+                           estimators: dict[str, object]
+                           ) -> dict[str, WorkloadResult]:
+    """Evaluate several estimators over the same workload with one pass of
+    ground-truth computation (the expensive part)."""
+    results = {name: WorkloadResult() for name in estimators}
+    for query in queries:
+        actual = exact.estimate(query)
+        if actual == 0:
+            for r in results.values():
+                r.skipped_zero_actual += 1
+            continue
+        for name, est in estimators.items():
+            estimate = est.estimate(query)
+            r = results[name]
+            r.actuals.append(actual)
+            r.estimates.append(estimate)
+            r.errors.append(abs(actual - estimate) / actual)
+    return results

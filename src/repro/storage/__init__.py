@@ -1,0 +1,44 @@
+"""Simulated paged storage: the substrate for the I/O-cost experiments.
+
+* :mod:`repro.storage.page` — pages, record widths, the I/O counter
+  (paper defaults: 4096-byte pages, 50-page memory).
+* :mod:`repro.storage.buffer` — metered disk + LRU buffer pool.
+* :mod:`repro.storage.heapfile` — append/scan record files.
+* :mod:`repro.storage.engine` — the bundle handed to algorithms.
+* :mod:`repro.storage.algorithms` — paged Anatomize (Theorem 3's O(n/b)
+  passes) and external Mondrian, both I/O-metered for Figures 8-9.
+"""
+
+from repro.storage.algorithms import (
+    PagedRunResult,
+    paged_anatomize,
+    paged_mondrian,
+)
+from repro.storage.buffer import BufferManager, Disk
+from repro.storage.engine import StorageEngine
+from repro.storage.heapfile import HeapFile, heapfile_from_records
+from repro.storage.page import (
+    DEFAULT_MEMORY_PAGES,
+    DEFAULT_PAGE_SIZE,
+    FIELD_BYTES,
+    IOCounter,
+    Page,
+    records_per_page,
+)
+
+__all__ = [
+    "BufferManager",
+    "DEFAULT_MEMORY_PAGES",
+    "DEFAULT_PAGE_SIZE",
+    "Disk",
+    "FIELD_BYTES",
+    "HeapFile",
+    "IOCounter",
+    "Page",
+    "PagedRunResult",
+    "StorageEngine",
+    "heapfile_from_records",
+    "paged_anatomize",
+    "paged_mondrian",
+    "records_per_page",
+]

@@ -1,0 +1,120 @@
+"""A simulated disk plus an LRU buffer pool.
+
+:class:`Disk` stores pages by id and charges every physical read/write to
+an :class:`~repro.storage.page.IOCounter`.  :class:`BufferManager` sits in
+front of it with a fixed number of frames (the paper's 50) and LRU
+replacement; hits are free, misses cost a read, and evicting a dirty frame
+costs a write.  This is the whole machinery needed to reproduce the
+I/O-count experiments faithfully.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.exceptions import StorageError
+from repro.storage.page import DEFAULT_MEMORY_PAGES, IOCounter, Page
+
+
+class Disk:
+    """Page-addressed storage with metered physical I/O."""
+
+    def __init__(self, counter: IOCounter | None = None) -> None:
+        self.counter = counter if counter is not None else IOCounter()
+        self._pages: dict[int, Page] = {}
+        self._next_id = 0
+
+    def allocate(self) -> int:
+        """Reserve a fresh page id (no I/O — allocation is metadata)."""
+        page_id = self._next_id
+        self._next_id += 1
+        return page_id
+
+    def read(self, page_id: int) -> Page:
+        if page_id not in self._pages:
+            raise StorageError(f"page {page_id} was never written")
+        self.counter.reads += 1
+        return self._pages[page_id]
+
+    def write(self, page_id: int, page: Page) -> None:
+        if not 0 <= page_id < self._next_id:
+            raise StorageError(f"page {page_id} was never allocated")
+        self.counter.writes += 1
+        self._pages[page_id] = page
+
+    def free(self, page_id: int) -> None:
+        """Drop a page (no I/O; models deallocation of temp files)."""
+        self._pages.pop(page_id, None)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+
+class BufferManager:
+    """An LRU buffer pool over a :class:`Disk`.
+
+    Parameters
+    ----------
+    disk:
+        Backing storage.
+    frames:
+        Pool capacity in pages (the paper uses 50).
+    """
+
+    def __init__(self, disk: Disk,
+                 frames: int = DEFAULT_MEMORY_PAGES) -> None:
+        if frames < 1:
+            raise StorageError(f"buffer pool needs >= 1 frame, got {frames}")
+        self.disk = disk
+        self.frames = int(frames)
+        # page_id -> (page, dirty); insertion order = LRU order.
+        self._pool: OrderedDict[int, tuple[Page, bool]] = OrderedDict()
+
+    @property
+    def resident(self) -> int:
+        return len(self._pool)
+
+    def _evict_if_needed(self) -> None:
+        while len(self._pool) >= self.frames:
+            victim_id, (victim, dirty) = self._pool.popitem(last=False)
+            if dirty:
+                self.disk.write(victim_id, victim)
+
+    def get(self, page_id: int) -> Page:
+        """Fetch a page for reading (LRU touch; miss costs one read)."""
+        if page_id in self._pool:
+            page, dirty = self._pool.pop(page_id)
+            self._pool[page_id] = (page, dirty)
+            return page
+        self._evict_if_needed()
+        page = self.disk.read(page_id)
+        self._pool[page_id] = (page, False)
+        return page
+
+    def put(self, page_id: int, page: Page) -> None:
+        """Install a (possibly new) page as dirty; written back on
+        eviction or flush."""
+        if page_id in self._pool:
+            self._pool.pop(page_id)
+        else:
+            self._evict_if_needed()
+        self._pool[page_id] = (page, True)
+
+    def mark_dirty(self, page_id: int) -> None:
+        if page_id not in self._pool:
+            raise StorageError(f"page {page_id} is not resident")
+        page, _ = self._pool.pop(page_id)
+        self._pool[page_id] = (page, True)
+
+    def flush(self) -> None:
+        """Write back every dirty frame and empty the pool."""
+        for page_id, (page, dirty) in self._pool.items():
+            if dirty:
+                self.disk.write(page_id, page)
+        self._pool.clear()
+
+    def drop(self, page_id: int) -> None:
+        """Discard a frame without writing it back (for freed temp
+        pages)."""
+        self._pool.pop(page_id, None)

@@ -1,0 +1,112 @@
+"""Heap files: append-only sequences of fixed-width records on the
+simulated disk.
+
+A :class:`HeapFile` is an ordered list of page ids.  Appends go through a
+one-page write buffer (as a real sequential writer would); scans read pages
+through the buffer manager in order.  These two access patterns are all the
+paper's algorithms need — Anatomize is sequential-scan-only (Theorem 3),
+and external Mondrian reads/writes whole partitions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import StorageError
+from repro.storage.buffer import BufferManager
+from repro.storage.page import Page
+
+
+class HeapFile:
+    """An append-only record file.
+
+    Parameters
+    ----------
+    buffer:
+        The buffer manager all I/O goes through.
+    field_count:
+        Fields per record (fixed for the file's lifetime).
+    page_size:
+        Page capacity in bytes.
+    """
+
+    def __init__(self, buffer: BufferManager, field_count: int,
+                 page_size: int = 4096) -> None:
+        self.buffer = buffer
+        self.field_count = int(field_count)
+        self.page_size = int(page_size)
+        self.page_ids: list[int] = []
+        self._record_count = 0
+        self._tail: Page | None = None  # in-memory write buffer page
+        self._tail_id: int | None = None
+
+    def __len__(self) -> int:
+        return self._record_count
+
+    @property
+    def page_count(self) -> int:
+        return len(self.page_ids)
+
+    def append(self, record: tuple[int, ...]) -> None:
+        """Append one record; pages are flushed to disk as they fill."""
+        if self._tail is None:
+            self._tail = Page(self.field_count, self.page_size)
+            self._tail_id = self.buffer.disk.allocate()
+            self.page_ids.append(self._tail_id)
+        self._tail.append(record)
+        self._record_count += 1
+        if self._tail.is_full:
+            self.buffer.put(self._tail_id, self._tail)
+            self._tail = None
+            self._tail_id = None
+
+    def extend(self, records: Iterable[tuple[int, ...]]) -> None:
+        for record in records:
+            self.append(record)
+
+    def close(self) -> None:
+        """Flush a partially filled tail page, if any."""
+        if self._tail is not None and len(self._tail):
+            self.buffer.put(self._tail_id, self._tail)
+        self._tail = None
+        self._tail_id = None
+
+    def scan(self) -> Iterator[tuple[int, ...]]:
+        """Yield every record in order, reading pages through the buffer.
+
+        The file must be closed (tail flushed) before scanning.
+        """
+        if self._tail is not None and len(self._tail):
+            raise StorageError("close() the file before scanning it")
+        for page_id in self.page_ids:
+            page = self.buffer.get(page_id)
+            yield from page.records
+
+    def scan_pages(self) -> Iterator[list[tuple[int, ...]]]:
+        """Yield records one page at a time (for page-granular
+        consumers)."""
+        if self._tail is not None and len(self._tail):
+            raise StorageError("close() the file before scanning it")
+        for page_id in self.page_ids:
+            yield list(self.buffer.get(page_id).records)
+
+    def free(self) -> None:
+        """Discard the file's pages (temporary-file cleanup; no I/O)."""
+        for page_id in self.page_ids:
+            self.buffer.drop(page_id)
+            self.buffer.disk.free(page_id)
+        self.page_ids.clear()
+        self._record_count = 0
+        self._tail = None
+        self._tail_id = None
+
+
+def heapfile_from_records(buffer: BufferManager,
+                          records: Iterable[tuple[int, ...]],
+                          field_count: int,
+                          page_size: int = 4096) -> HeapFile:
+    """Build and close a heap file from an iterable of records."""
+    hf = HeapFile(buffer, field_count, page_size)
+    hf.extend(records)
+    hf.close()
+    return hf

@@ -1,0 +1,95 @@
+"""Pages and I/O accounting for the simulated storage engine.
+
+The paper's cost experiments (Section 6.2) report *I/O counts* with a page
+size of 4096 bytes and a memory capacity of 50 pages.  This module models
+exactly those quantities: a :class:`Page` holds fixed-width integer records
+(4 bytes per field, matching the discrete attribute codes), and an
+:class:`IOCounter` tallies page reads and writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import StorageError
+
+#: The paper's page size (Section 6.2).
+DEFAULT_PAGE_SIZE = 4096
+#: The paper's buffer capacity in pages (Section 6.2).
+DEFAULT_MEMORY_PAGES = 50
+#: Bytes per record field (int32 attribute codes).
+FIELD_BYTES = 4
+
+
+def records_per_page(field_count: int,
+                     page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """How many ``field_count``-field records fit in one page."""
+    if field_count < 1:
+        raise StorageError(f"records need >= 1 field, got {field_count}")
+    record_bytes = field_count * FIELD_BYTES
+    if record_bytes > page_size:
+        raise StorageError(
+            f"record of {record_bytes} bytes exceeds page size {page_size}")
+    return page_size // record_bytes
+
+
+@dataclass
+class IOCounter:
+    """Tally of page-level I/O operations."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def add(self, other: "IOCounter") -> None:
+        self.reads += other.reads
+        self.writes += other.writes
+
+    def snapshot(self) -> "IOCounter":
+        return IOCounter(self.reads, self.writes)
+
+    def __repr__(self) -> str:
+        return (f"IOCounter(reads={self.reads}, writes={self.writes}, "
+                f"total={self.total})")
+
+
+class Page:
+    """A fixed-capacity page of fixed-width integer records.
+
+    Parameters
+    ----------
+    field_count:
+        Number of int32 fields per record.
+    page_size:
+        Page capacity in bytes.
+    """
+
+    __slots__ = ("field_count", "capacity", "records")
+
+    def __init__(self, field_count: int,
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self.field_count = int(field_count)
+        self.capacity = records_per_page(field_count, page_size)
+        self.records: list[tuple[int, ...]] = []
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.records) >= self.capacity
+
+    def append(self, record: tuple[int, ...]) -> None:
+        if len(record) != self.field_count:
+            raise StorageError(
+                f"record has {len(record)} fields, page stores "
+                f"{self.field_count}")
+        if self.is_full:
+            raise StorageError("page is full")
+        self.records.append(tuple(int(v) for v in record))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"Page({len(self.records)}/{self.capacity} records)"

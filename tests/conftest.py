@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build small instances of every layer: the paper's 8-patient
+hospital example, a compact synthetic CENSUS population, and published
+tables from both methods.  Session scope keeps the expensive generation
+out of per-test time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.dataset.census import CensusDataset
+from repro.dataset.hospital import hospital_table
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+from repro.generalization.mondrian import mondrian
+from repro.generalization.recoding import census_recoder
+
+
+@pytest.fixture(scope="session")
+def hospital():
+    """The paper's Table 1."""
+    return hospital_table()
+
+
+@pytest.fixture(scope="session")
+def census():
+    """A compact synthetic CENSUS population (5,000 tuples)."""
+    return CensusDataset(n=5_000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def occ3(census):
+    """The OCC-3 microdata view of the compact population."""
+    return census.occ(3)
+
+
+@pytest.fixture(scope="session")
+def sal5(census):
+    """The SAL-5 microdata view."""
+    return census.sal(5)
+
+
+@pytest.fixture(scope="session")
+def occ3_published(occ3):
+    """OCC-3 anatomized at l=10."""
+    return anatomize(occ3, l=10, seed=0)
+
+
+@pytest.fixture(scope="session")
+def occ3_generalized(occ3):
+    """OCC-3 generalized at l=10 with the Table 6 recoder."""
+    return mondrian(occ3, l=10, recoder=census_recoder())
+
+
+@pytest.fixture()
+def tiny_schema():
+    """A 2-QI schema with small domains, for hand-computable tests."""
+    return Schema(
+        qi_attributes=[
+            Attribute("X", range(10), kind=AttributeKind.NUMERIC),
+            Attribute("Y", ["a", "b", "c", "d"]),
+        ],
+        sensitive=Attribute("S", ["s0", "s1", "s2", "s3", "s4"]),
+    )
+
+
+def make_balanced_table(schema: Schema, n: int, seed: int = 0) -> Table:
+    """A random table whose sensitive values are perfectly balanced, so
+    it is eligible for any l up to the number of sensitive values."""
+    rng = np.random.default_rng(seed)
+    sens_size = schema.sensitive.size
+    columns = {
+        attr.name: rng.integers(0, attr.size, size=n).astype(np.int32)
+        for attr in schema.qi_attributes
+    }
+    columns[schema.sensitive.name] = np.resize(
+        np.arange(sens_size, dtype=np.int32), n)
+    return Table(schema, columns)
+
+
+@pytest.fixture()
+def balanced_table(tiny_schema):
+    """60 tuples, sensitive values exactly balanced (12 each of 5)."""
+    return make_balanced_table(tiny_schema, 60, seed=3)

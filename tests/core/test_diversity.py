@@ -1,0 +1,140 @@
+"""Unit tests for diversity requirements and the eligibility condition."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.diversity import (
+    EntropyLDiversity,
+    FrequencyLDiversity,
+    RecursiveCLDiversity,
+    check_eligibility,
+    max_feasible_l,
+)
+from repro.core.partition import Partition, QIGroup
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.exceptions import EligibilityError, ReproError
+
+
+def make_table(sensitive_codes):
+    schema = Schema([Attribute("A", range(10))],
+                    Attribute("S", range(10)))
+    n = len(sensitive_codes)
+    return Table(schema, {
+        "A": np.zeros(n, dtype=np.int32),
+        "S": np.asarray(sensitive_codes, dtype=np.int32),
+    })
+
+
+def group_of(codes):
+    return QIGroup(make_table(codes), np.arange(len(codes)), 1)
+
+
+class TestFrequencyLDiversity:
+    def test_paper_groups_are_2_diverse(self, hospital):
+        p = Partition(hospital, PAPER_PARTITION_GROUPS)
+        req = FrequencyLDiversity(2)
+        assert req.partition_ok(p)
+        assert not FrequencyLDiversity(3).partition_ok(p)
+
+    def test_group_boundary(self):
+        # 2 of 4 is exactly 1/2 -> passes l=2, fails l=3
+        g = group_of([0, 0, 1, 2])
+        assert FrequencyLDiversity(2).group_ok(g)
+        assert not FrequencyLDiversity(3).group_ok(g)
+
+    def test_l1_always_passes(self):
+        g = group_of([0, 0, 0])
+        assert FrequencyLDiversity(1).group_ok(g)
+
+    def test_invalid_l(self):
+        with pytest.raises(ReproError):
+            FrequencyLDiversity(0)
+
+    def test_describe(self):
+        assert "4" in FrequencyLDiversity(4).describe()
+
+
+class TestEntropyLDiversity:
+    def test_uniform_group_meets_entropy(self):
+        # 4 distinct values, uniform -> entropy = log 4
+        g = group_of([0, 1, 2, 3])
+        assert EntropyLDiversity(4).group_ok(g)
+        assert not EntropyLDiversity(4.5).group_ok(g)
+
+    def test_skewed_group_fails(self):
+        g = group_of([0, 0, 0, 1])
+        assert not EntropyLDiversity(2).group_ok(g)
+
+    def test_entropy_stronger_than_frequency(self):
+        """Frequency 2-diversity can hold where entropy 2-diversity
+        fails."""
+        g = group_of([0, 0, 1, 2])
+        assert FrequencyLDiversity(2).group_ok(g)
+        entropy = -(0.5 * math.log(0.5) + 2 * 0.25 * math.log(0.25))
+        expected = entropy >= math.log(2)
+        assert EntropyLDiversity(2).group_ok(g) == expected
+
+    def test_invalid_l(self):
+        with pytest.raises(ReproError):
+            EntropyLDiversity(0.5)
+
+
+class TestRecursiveCLDiversity:
+    def test_needs_l_distinct_values(self):
+        g = group_of([0, 0, 1, 1])
+        assert not RecursiveCLDiversity(1.0, 3).group_ok(g)
+
+    def test_c_threshold(self):
+        # counts sorted: [3, 2, 1]; r1 < c*(r2+r3) <=> 3 < 3c
+        g = group_of([0, 0, 0, 1, 1, 2])
+        assert RecursiveCLDiversity(1.5, 2).group_ok(g)
+        assert not RecursiveCLDiversity(1.0, 2).group_ok(g)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            RecursiveCLDiversity(0.0, 2)
+        with pytest.raises(ReproError):
+            RecursiveCLDiversity(1.0, 0)
+
+
+class TestEligibility:
+    def test_eligible_table_passes(self):
+        check_eligibility(make_table([0, 1, 2, 3] * 3), l=4)
+
+    def test_exact_boundary_passes(self):
+        # n=4, l=2 -> limit 2; max count 2 is allowed
+        check_eligibility(make_table([0, 0, 1, 2]), l=2)
+
+    def test_violation_raises_with_details(self):
+        with pytest.raises(EligibilityError) as exc:
+            check_eligibility(make_table([0, 0, 0, 1]), l=2)
+        assert exc.value.count == 3
+        assert exc.value.limit == pytest.approx(2.0)
+
+    def test_l_larger_than_n_raises(self):
+        with pytest.raises(EligibilityError):
+            check_eligibility(make_table([0, 1]), l=3)
+
+    def test_empty_table_raises(self):
+        with pytest.raises(EligibilityError):
+            check_eligibility(make_table([]), l=1)
+
+    def test_invalid_l_raises(self):
+        with pytest.raises(ReproError):
+            check_eligibility(make_table([0, 1]), l=0)
+
+    def test_max_feasible_l(self):
+        assert max_feasible_l(make_table([0, 0, 1, 2])) \
+            == pytest.approx(2.0)
+        assert max_feasible_l(make_table([0, 1, 2, 3])) \
+            == pytest.approx(4.0)
+        assert max_feasible_l(make_table([])) == float("inf")
+
+    def test_hospital_feasible_l(self, hospital):
+        """In Table 1 flu appears twice among 8 tuples, so at most
+        l = 4."""
+        assert max_feasible_l(hospital) == pytest.approx(4.0)

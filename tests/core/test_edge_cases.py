@@ -1,0 +1,108 @@
+"""Edge-case coverage across core modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_sensitive import (
+    MultiSensitiveTable,
+    multi_anatomize_partition,
+)
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.exceptions import (
+    EligibilityError,
+    PartitionError,
+    ReproError,
+)
+
+
+class TestExceptionMetadata:
+    def test_eligibility_error_carries_details(self):
+        schema = Schema([Attribute("A", range(4))],
+                        Attribute("S", ["x", "y"]))
+        table = Table(schema, {
+            "A": np.arange(4, dtype=np.int32),
+            "S": np.array([0, 0, 0, 1], dtype=np.int32)})
+        from repro.core.diversity import check_eligibility
+        with pytest.raises(EligibilityError) as exc:
+            check_eligibility(table, 2)
+        err = exc.value
+        assert err.value == "x"
+        assert err.count == 3
+        assert err.limit == pytest.approx(2.0)
+        assert "maximum feasible l" in str(err)
+
+    def test_hierarchy(self):
+        from repro.exceptions import (QueryError, SchemaError,
+                                      StorageError)
+        for cls in (SchemaError, EligibilityError, PartitionError,
+                    StorageError, QueryError):
+            assert issubclass(cls, ReproError)
+            assert issubclass(cls, Exception)
+
+
+class TestMultiSensitiveInfeasible:
+    def test_pathological_correlation_detected(self):
+        """Two sensitive attributes where the heuristic cannot place
+        residues without violating per-attribute diversity must raise,
+        never silently publish."""
+        # S0 balanced over 2 values, S1 constant within each S0 class
+        # but l=2 demands distinct S1 values per group while S1 only
+        # has the two values tied to S0 -> groups of (S0=0, S0=1) force
+        # (S1=0, S1=1): actually feasible.  Make S1 constant overall:
+        qi = [Attribute("A", range(10))]
+        sens = [Attribute("S0", range(4)), Attribute("S1", range(4))]
+        n = 12
+        columns = {
+            "A": np.arange(n, dtype=np.int32) % 10,
+            "S0": np.resize(np.arange(4), n).astype(np.int32),
+            "S1": np.zeros(n, dtype=np.int32),  # constant!
+        }
+        table = MultiSensitiveTable(qi, sens, columns)
+        with pytest.raises((EligibilityError, PartitionError)):
+            multi_anatomize_partition(table, l=2, seed=0)
+
+    def test_empty_multi_table_rejected(self):
+        qi = [Attribute("A", range(2))]
+        sens = [Attribute("S0", range(2))]
+        table = MultiSensitiveTable(qi, sens, {
+            "A": np.empty(0, dtype=np.int32),
+            "S0": np.empty(0, dtype=np.int32)})
+        with pytest.raises(EligibilityError):
+            multi_anatomize_partition(table, l=1, seed=0)
+
+
+class TestAnatomizeDegenerateShapes:
+    def test_single_qi_attribute(self):
+        from repro.core.anatomize import anatomize
+        schema = Schema([Attribute("A", range(2))],
+                        Attribute("S", range(4)))
+        table = Table(schema, {
+            "A": np.zeros(8, dtype=np.int32),
+            "S": np.resize(np.arange(4), 8).astype(np.int32)})
+        published = anatomize(table, l=4, seed=0)
+        assert published.partition.is_l_diverse(4)
+
+    def test_identical_qi_values_split_across_groups(self):
+        """Anatomy may place identical-QI tuples in different groups —
+        the scenario Theorem 1 exists for."""
+        from repro.core.anatomize import anatomize_partition
+        schema = Schema([Attribute("A", range(2))],
+                        Attribute("S", range(4)))
+        table = Table(schema, {
+            "A": np.zeros(16, dtype=np.int32),   # all identical QI
+            "S": np.resize(np.arange(4), 16).astype(np.int32)})
+        partition = anatomize_partition(table, l=4, seed=0)
+        assert partition.m == 4
+        assert partition.is_l_diverse(4)
+
+    def test_wide_sensitive_domain_sparse_values(self):
+        from repro.core.anatomize import anatomize
+        schema = Schema([Attribute("A", range(4))],
+                        Attribute("S", range(1000)))
+        table = Table(schema, {
+            "A": np.zeros(6, dtype=np.int32),
+            "S": np.array([0, 500, 999, 7, 450, 31],
+                          dtype=np.int32)})
+        published = anatomize(table, l=3, seed=0)
+        assert published.partition.is_l_diverse(3)

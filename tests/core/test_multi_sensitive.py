@@ -1,0 +1,148 @@
+"""Unit tests for the multi-sensitive-attribute extension (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_sensitive import (
+    MultiSensitiveTable,
+    check_multi_eligibility,
+    multi_anatomize,
+    multi_anatomize_partition,
+    verify_multi_diversity,
+)
+from repro.dataset.schema import Attribute, Schema
+from repro.exceptions import EligibilityError, SchemaError
+
+
+def make_multi_table(n=120, seed=0, sizes=(12, 15)):
+    rng = np.random.default_rng(seed)
+    qi = [Attribute("A", range(50)), Attribute("B", range(20))]
+    sens = [Attribute(f"S{k}", range(size))
+            for k, size in enumerate(sizes)]
+    columns = {
+        "A": rng.integers(0, 50, n).astype(np.int32),
+        "B": rng.integers(0, 20, n).astype(np.int32),
+    }
+    for attr, size in zip(sens, sizes):
+        # balanced to keep every l feasible up to min(sizes)
+        columns[attr.name] = np.resize(
+            rng.permutation(size).astype(np.int32), n)
+    return MultiSensitiveTable(qi, sens, columns)
+
+
+class TestMultiSensitiveTable:
+    def test_basic_shape(self):
+        t = make_multi_table()
+        assert len(t) == 120
+        assert t.p == 2
+        assert t.sensitive_matrix().shape == (120, 2)
+
+    def test_needs_sensitive_attribute(self):
+        with pytest.raises(SchemaError):
+            MultiSensitiveTable([Attribute("A", range(2))], [], {})
+
+    def test_unknown_sensitive_lookup(self):
+        t = make_multi_table()
+        with pytest.raises(SchemaError):
+            t.sensitive_column("nope")
+
+    def test_column_length_mismatch(self):
+        qi = [Attribute("A", range(5))]
+        sens = [Attribute("S0", range(5)), Attribute("S1", range(5))]
+        with pytest.raises(SchemaError):
+            MultiSensitiveTable(qi, sens, {
+                "A": np.zeros(4, dtype=np.int32),
+                "S0": np.zeros(4, dtype=np.int32),
+                "S1": np.zeros(3, dtype=np.int32),
+            })
+
+    def test_out_of_domain_sensitive(self):
+        qi = [Attribute("A", range(5))]
+        sens = [Attribute("S0", range(2)), Attribute("S1", range(2))]
+        with pytest.raises(SchemaError):
+            MultiSensitiveTable(qi, sens, {
+                "A": np.zeros(3, dtype=np.int32),
+                "S0": np.zeros(3, dtype=np.int32),
+                "S1": np.array([0, 1, 5], dtype=np.int32),
+            })
+
+
+class TestEligibility:
+    def test_balanced_table_eligible(self):
+        check_multi_eligibility(make_multi_table(), l=5)
+
+    def test_violating_attribute_detected(self):
+        qi = [Attribute("A", range(5))]
+        sens = [Attribute("S0", range(5)), Attribute("S1", range(5))]
+        t = MultiSensitiveTable(qi, sens, {
+            "A": np.zeros(10, dtype=np.int32),
+            "S0": np.resize(np.arange(5), 10).astype(np.int32),
+            "S1": np.array([0] * 8 + [1, 2], dtype=np.int32),
+        })
+        with pytest.raises(EligibilityError, match="S1"):
+            check_multi_eligibility(t, l=2)
+
+
+class TestPartitioning:
+    def test_partition_is_diverse_on_all_attributes(self):
+        t = make_multi_table(n=200, seed=1)
+        partition = multi_anatomize_partition(t, l=5, seed=0)
+        verify_multi_diversity(t, partition, 5)  # raises on failure
+
+    def test_groups_at_least_l(self):
+        t = make_multi_table(n=200, seed=2)
+        partition = multi_anatomize_partition(t, l=4, seed=0)
+        assert all(g.size >= 4 for g in partition)
+
+    def test_covers_table(self):
+        t = make_multi_table(n=150, seed=3)
+        partition = multi_anatomize_partition(t, l=3, seed=0)
+        assert sum(g.size for g in partition) == 150
+
+    def test_single_sensitive_reduces_to_anatomy_like(self):
+        """With p=1 the result is an ordinary l-diverse partition."""
+        t = make_multi_table(n=100, seed=4, sizes=(10,))
+        partition = multi_anatomize_partition(t, l=5, seed=0)
+        assert partition.is_l_diverse(5)
+
+    def test_correlated_attributes_still_handled(self):
+        """S1 a deterministic function of S0 — the hardest correlated
+        case the heuristic must still solve (distinct S0 implies
+        distinct S1)."""
+        rng = np.random.default_rng(5)
+        qi = [Attribute("A", range(30))]
+        sens = [Attribute("S0", range(10)), Attribute("S1", range(10))]
+        s0 = np.resize(np.arange(10), 100).astype(np.int32)
+        columns = {
+            "A": rng.integers(0, 30, 100).astype(np.int32),
+            "S0": s0,
+            "S1": ((s0 + 3) % 10).astype(np.int32),
+        }
+        t = MultiSensitiveTable(qi, sens, columns)
+        partition = multi_anatomize_partition(t, l=5, seed=0)
+        verify_multi_diversity(t, partition, 5)
+
+
+class TestPublication:
+    def test_one_st_per_attribute(self):
+        t = make_multi_table(n=200, seed=6)
+        published = multi_anatomize(t, l=5, seed=0)
+        assert set(published.sts) == {"S0", "S1"}
+
+    def test_st_counts_sum_to_n(self):
+        t = make_multi_table(n=200, seed=6)
+        published = multi_anatomize(t, l=5, seed=0)
+        for st in published.sts.values():
+            assert int(st.counts.sum()) == 200
+
+    def test_breach_bounds_per_attribute(self):
+        t = make_multi_table(n=200, seed=7)
+        published = multi_anatomize(t, l=5, seed=0)
+        for name in ("S0", "S1"):
+            assert published.breach_probability_bound(name) \
+                <= 1 / 5 + 1e-12
+
+    def test_qit_covers_all_tuples(self):
+        t = make_multi_table(n=200, seed=8)
+        published = multi_anatomize(t, l=5, seed=0)
+        assert published.qit.n == 200

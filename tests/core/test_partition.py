@@ -1,0 +1,107 @@
+"""Unit tests for partitions and QI-groups (Definitions 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Partition, QIGroup
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.exceptions import PartitionError
+
+
+@pytest.fixture()
+def paper_partition(hospital):
+    return Partition(hospital, PAPER_PARTITION_GROUPS)
+
+
+class TestQIGroup:
+    def test_size(self, hospital):
+        g = QIGroup(hospital, np.array([0, 1, 2, 3]), 1)
+        assert g.size == 4
+        assert len(g) == 4
+
+    def test_empty_group_rejected(self, hospital):
+        with pytest.raises(PartitionError, match="empty"):
+            QIGroup(hospital, np.array([], dtype=np.int64), 1)
+
+    def test_sensitive_histogram_group1(self, hospital):
+        """QI-group 1 of the paper: 2 dyspepsia + 2 pneumonia."""
+        g = QIGroup(hospital, np.array([0, 1, 2, 3]), 1)
+        hist = g.sensitive_histogram()
+        disease = hospital.schema.sensitive
+        decoded = {disease.decode(c): k for c, k in hist.items()}
+        assert decoded == {"dyspepsia": 2, "pneumonia": 2}
+
+    def test_sensitive_histogram_group2(self, hospital):
+        """QI-group 2 of the paper: bronchitis 1, flu 2, gastritis 1."""
+        g = QIGroup(hospital, np.array([4, 5, 6, 7]), 2)
+        disease = hospital.schema.sensitive
+        decoded = {disease.decode(c): k
+                   for c, k in g.sensitive_histogram().items()}
+        assert decoded == {"bronchitis": 1, "flu": 2, "gastritis": 1}
+
+    def test_max_and_distinct_counts(self, hospital):
+        g = QIGroup(hospital, np.array([4, 5, 6, 7]), 2)
+        assert g.max_sensitive_count() == 2
+        assert g.distinct_sensitive_count() == 3
+
+    def test_qi_extent(self, hospital):
+        g = QIGroup(hospital, np.array([0, 1, 2, 3]), 1)
+        extents = g.qi_extent()
+        age = hospital.schema.attribute("Age")
+        lo, hi = extents[0]
+        assert age.decode(lo) == 23 and age.decode(hi) == 59
+
+
+class TestPartition:
+    def test_m(self, paper_partition):
+        assert paper_partition.m == 2
+        assert len(paper_partition) == 2
+
+    def test_group_ids_one_based(self, paper_partition):
+        assert [g.group_id for g in paper_partition] == [1, 2]
+        assert paper_partition.group_by_id(2).group_id == 2
+        assert paper_partition[0].group_id == 1
+
+    def test_group_by_id_bounds(self, paper_partition):
+        with pytest.raises(PartitionError):
+            paper_partition.group_by_id(0)
+        with pytest.raises(PartitionError):
+            paper_partition.group_by_id(3)
+
+    def test_overlapping_groups_rejected(self, hospital):
+        with pytest.raises(PartitionError):
+            Partition(hospital, [(0, 1, 2, 3), (3, 4, 5, 6, 7)])
+
+    def test_non_covering_groups_rejected(self, hospital):
+        with pytest.raises(PartitionError):
+            Partition(hospital, [(0, 1, 2), (4, 5, 6, 7)])
+
+    def test_group_sizes(self, paper_partition):
+        assert paper_partition.group_sizes() == [4, 4]
+
+    def test_group_id_column(self, paper_partition):
+        ids = paper_partition.group_id_column()
+        assert list(ids) == [1, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_is_2_diverse(self, paper_partition):
+        """Table 1's partition is 2-diverse (Section 3.1)."""
+        assert paper_partition.is_l_diverse(2)
+        assert not paper_partition.is_l_diverse(3)
+
+    def test_diversity_value(self, paper_partition):
+        assert paper_partition.diversity() == pytest.approx(2.0)
+
+    def test_k_anonymity(self, paper_partition):
+        """Table 2 is 4-anonymous (Section 1)."""
+        assert paper_partition.k_anonymity() == 4
+
+    def test_invalid_l(self, paper_partition):
+        with pytest.raises(PartitionError):
+            paper_partition.is_l_diverse(0)
+
+    def test_single_group_partition(self, hospital):
+        p = Partition(hospital, [tuple(range(8))])
+        assert p.m == 1
+        assert p.k_anonymity() == 8
+        # flu appears twice among 8 -> diversity 4
+        assert p.diversity() == pytest.approx(4.0)

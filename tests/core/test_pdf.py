@@ -1,0 +1,105 @@
+"""Unit tests for reconstructed pdfs and Err_t (Equations 9-12)."""
+
+import pytest
+
+from repro.core.pdf import (
+    SparsePdf,
+    anatomy_error,
+    anatomy_pdf,
+    generalization_error,
+    generalization_pdf,
+    true_pdf,
+)
+from repro.exceptions import ReproError
+
+
+class TestSparsePdf:
+    def test_masses_must_sum_to_one(self):
+        with pytest.raises(ReproError, match="sum"):
+            SparsePdf({(0,): 0.7})
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ReproError):
+            SparsePdf({(0,): 1.5, (1,): -0.5})
+
+    def test_lookup(self):
+        pdf = SparsePdf({(0,): 0.25, (1,): 0.75})
+        assert pdf((1,)) == 0.75
+        assert pdf((9,)) == 0.0
+
+    def test_point_mass_error_zero(self):
+        assert true_pdf((3, 5)).l2_error_from_point_mass((3, 5)) == 0.0
+
+    def test_point_mass_wrong_point(self):
+        # (1-0)^2 at the true point + 1^2 at the spike = 2
+        assert true_pdf((3, 5)).l2_error_from_point_mass((0, 0)) \
+            == pytest.approx(2.0)
+
+
+class TestAnatomyPdf:
+    def test_paper_example_equation_7(self):
+        """Tuple 1 reconstructed from Tables 3a/3b: 1/2 at
+        (23, pneumonia), 1/2 at (23, dyspepsia)."""
+        pdf = anatomy_pdf((23,), {0: 2, 1: 2})  # codes: 0=dysp, 1=pneu
+        assert pdf((23, 0)) == pytest.approx(0.5)
+        assert pdf((23, 1)) == pytest.approx(0.5)
+        assert pdf((23, 2)) == 0.0
+
+    def test_paper_example_error_half(self):
+        """Section 4: the distance of G_ana for tuple 1 is 0.5."""
+        pdf = anatomy_pdf((23,), {0: 2, 1: 2})
+        assert pdf.l2_error_from_point_mass((23, 1)) == pytest.approx(0.5)
+        assert anatomy_error({0: 2, 1: 2}, 1) == pytest.approx(0.5)
+
+    def test_closed_form_matches_sparse_computation(self):
+        hist = {0: 1, 1: 2, 2: 3, 3: 4}
+        for true in hist:
+            pdf = anatomy_pdf((7, 7), hist)
+            direct = pdf.l2_error_from_point_mass((7, 7, true))
+            assert anatomy_error(hist, true) == pytest.approx(direct)
+
+    def test_error_lower_bound_per_group(self):
+        """For a group of size l with distinct values, Err_t = 1 - 1/l
+        (proof of Theorem 2's equality case)."""
+        for l in (2, 5, 10):
+            hist = {v: 1 for v in range(l)}
+            assert anatomy_error(hist, 0) == pytest.approx(1 - 1 / l)
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ReproError):
+            anatomy_error({}, 0)
+        with pytest.raises(ReproError):
+            anatomy_pdf((0,), {})
+
+    def test_true_value_must_be_in_group(self):
+        with pytest.raises(ReproError, match="absent"):
+            anatomy_error({0: 1, 1: 1}, 5)
+
+
+class TestGeneralizationPdf:
+    def test_error_closed_form(self):
+        """Err_t = 1 - 1/V for a box of V cells."""
+        assert generalization_error(1) == 0.0
+        assert generalization_error(40) == pytest.approx(1 - 1 / 40)
+        assert generalization_error(2_000_000) \
+            == pytest.approx(1 - 5e-7)
+
+    def test_per_cell_mass(self):
+        # paper's tuple 1 in the Age-Disease plane: interval of 40 ages
+        assert generalization_pdf((40,), 0) == pytest.approx(1 / 40)
+        # full Table 2 box: 40 ages x 1 sex x 50000 zipcodes
+        assert generalization_pdf((40, 1, 50000), 0) \
+            == pytest.approx(1 / 2_000_000)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            generalization_error(0)
+        with pytest.raises(ReproError):
+            generalization_pdf((0,), 0)
+
+    def test_anatomy_beats_generalization_on_paper_example(self):
+        """Section 4's comparison: 0.5 (anatomy) < 0.975 (generalization
+        over the 40-value age interval)."""
+        ana = anatomy_error({0: 2, 1: 2}, 1)
+        gen = generalization_error(40)
+        assert ana < gen

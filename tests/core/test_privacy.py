@@ -1,0 +1,151 @@
+"""Unit tests for the adversary model (Corollary 1, Theorem 1,
+Section 3.3)."""
+
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.core.partition import Partition
+from repro.core.privacy import (
+    AnatomyAdversary,
+    verify_individual_level_guarantee,
+    verify_tuple_level_guarantee,
+)
+from repro.core.tables import AnatomizedTables
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.exceptions import ReproError, SchemaError
+
+
+@pytest.fixture()
+def paper_published(hospital):
+    return AnatomizedTables.from_partition(
+        Partition(hospital, PAPER_PARTITION_GROUPS))
+
+
+@pytest.fixture()
+def adversary(paper_published):
+    return AnatomyAdversary(paper_published)
+
+
+class TestBobAttack:
+    """Section 1.2: the adversary knows Bob's age 23 and zipcode 11000."""
+
+    def test_bob_matches_one_row(self, adversary):
+        bob = adversary.encode_qi((23, "M", 11000))
+        assert len(adversary.matching_rows(bob)) == 1
+
+    def test_bob_posterior_is_50_50(self, adversary, hospital):
+        bob = adversary.encode_qi((23, "M", 11000))
+        disease = hospital.schema.sensitive
+        posterior = adversary.posterior(bob)
+        decoded = {disease.decode(c): p for c, p in posterior.items()}
+        assert decoded == {"dyspepsia": 0.5, "pneumonia": 0.5}
+
+    def test_bob_breach_probability(self, adversary, hospital):
+        bob = adversary.encode_qi((23, "M", 11000))
+        pneumonia = hospital.schema.sensitive.encode("pneumonia")
+        assert adversary.breach_probability(bob, pneumonia) \
+            == pytest.approx(0.5)
+
+    def test_bob_cannot_have_flu(self, adversary, hospital):
+        bob = adversary.encode_qi((23, "M", 11000))
+        flu = hospital.schema.sensitive.encode("flu")
+        assert adversary.breach_probability(bob, flu) == 0.0
+
+
+class TestAliceAttack:
+    """Section 3.2: Alice's QI values match tuples 6 AND 7; the two-
+    scenario average still yields 50% for flu."""
+
+    def test_alice_matches_two_rows(self, adversary):
+        alice = adversary.encode_qi((65, "F", 25000))
+        assert len(adversary.matching_rows(alice)) == 2
+
+    def test_alice_flu_probability_is_half(self, adversary, hospital):
+        alice = adversary.encode_qi((65, "F", 25000))
+        flu = hospital.schema.sensitive.encode("flu")
+        # (1/2)*50% + (1/2)*50% = 50%, as derived in Section 3.2
+        assert adversary.breach_probability(alice, flu) \
+            == pytest.approx(0.5)
+
+    def test_individual_level_bound(self, adversary):
+        alice = adversary.encode_qi((65, "F", 25000))
+        assert max(adversary.posterior(alice).values()) <= 0.5 + 1e-12
+
+
+class TestMembershipAnalysis:
+    """Section 3.3: the voter registration list (Table 5)."""
+
+    def _registry(self, adversary):
+        # Ada, Alice, Bella, Emily, Stephanie  (Emily not in microdata)
+        people = [(61, "F", 54000), (65, "F", 25000), (65, "F", 25000),
+                  (67, "F", 33000), (70, "F", 30000)]
+        return [adversary.encode_qi(p) for p in people]
+
+    def test_emily_ruled_out(self, adversary):
+        emily = adversary.encode_qi((67, "F", 33000))
+        assert not adversary.is_present(emily)
+
+    def test_alice_membership_is_one(self, adversary):
+        """With exact QI values published, 2 QIT rows match Alice's QI
+        and 2 registry candidates share them -> Pr_A2 = 1 (the paper's
+        conclusion for anatomy)."""
+        registry = self._registry(adversary)
+        alice = adversary.encode_qi((65, "F", 25000))
+        assert adversary.membership_probability(registry, alice) \
+            == pytest.approx(1.0)
+
+    def test_overall_breach_formula_3(self, adversary, hospital):
+        registry = self._registry(adversary)
+        alice = adversary.encode_qi((65, "F", 25000))
+        flu = hospital.schema.sensitive.encode("flu")
+        overall = adversary.overall_breach_probability(
+            registry, alice, flu)
+        assert overall == pytest.approx(1.0 * 0.5)
+
+    def test_unknown_target_rejected(self, adversary):
+        registry = self._registry(adversary)
+        ghost = adversary.encode_qi((23, "F", 54000))
+        with pytest.raises(ReproError, match="registry"):
+            adversary.membership_probability(registry, ghost)
+
+
+class TestErrors:
+    def test_posterior_no_match_raises(self, adversary):
+        ghost = adversary.encode_qi((27, "F", 59000))
+        with pytest.raises(ReproError, match="no QIT row"):
+            adversary.posterior(ghost)
+
+    def test_wrong_arity_raises(self, adversary):
+        with pytest.raises(SchemaError):
+            adversary.encode_qi((23, "M"))
+        with pytest.raises(SchemaError):
+            adversary.matching_rows((0, 0))
+
+
+class TestGuaranteeVerifiers:
+    def test_paper_example_guarantees(self, paper_published):
+        assert verify_tuple_level_guarantee(paper_published, 2)
+        assert verify_individual_level_guarantee(paper_published, 2)
+        assert not verify_tuple_level_guarantee(paper_published, 3)
+
+    def test_census_guarantees_l10(self, occ3_published):
+        assert verify_tuple_level_guarantee(occ3_published, 10)
+
+    def test_census_individual_level_sampled(self, occ3, occ3_published):
+        """Theorem 1 on real data: spot-check 50 distinct QI vectors."""
+        adversary = AnatomyAdversary(occ3_published)
+        seen = set()
+        for row in occ3_published.qit.qi_codes[:500]:
+            qi = tuple(int(v) for v in row)
+            if qi in seen:
+                continue
+            seen.add(qi)
+            assert max(adversary.posterior(qi).values()) <= 0.1 + 1e-12
+            if len(seen) >= 50:
+                break
+
+
+def test_end_to_end_bound_holds_for_various_l(occ3):
+    for l in (2, 5, 10):
+        published = anatomize(occ3, l=l, seed=0)
+        assert published.breach_probability_bound() <= 1.0 / l + 1e-12

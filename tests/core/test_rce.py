@@ -1,0 +1,133 @@
+"""Unit tests for RCE and its bounds (Theorems 2 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.anatomize import anatomize_partition
+from repro.core.partition import Partition
+from repro.core.rce import (
+    anatomize_optimality_factor,
+    anatomize_rce_formula,
+    anatomy_rce,
+    generalization_rce,
+    group_rce,
+    rce_lower_bound,
+)
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.exceptions import ReproError
+
+
+def make_table(sensitive_codes):
+    schema = Schema([Attribute("A", range(100))],
+                    Attribute("S", range(60)))
+    n = len(sensitive_codes)
+    return Table(schema, {
+        "A": np.arange(n, dtype=np.int32) % 100,
+        "S": np.asarray(sensitive_codes, dtype=np.int32),
+    })
+
+
+class TestLowerBound:
+    def test_theorem_2_values(self):
+        assert rce_lower_bound(8, 2) == pytest.approx(4.0)
+        assert rce_lower_bound(100, 10) == pytest.approx(90.0)
+        assert rce_lower_bound(0, 5) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            rce_lower_bound(-1, 2)
+        with pytest.raises(ReproError):
+            rce_lower_bound(10, 0)
+
+
+class TestTheorem4Formula:
+    def test_divisible_case_meets_lower_bound(self):
+        for n, l in [(20, 4), (100, 10), (8, 2)]:
+            assert anatomize_rce_formula(n, l) \
+                == pytest.approx(rce_lower_bound(n, l))
+
+    def test_non_divisible_case(self):
+        # n=23, l=4 -> r=3: (20)(3/4) + 3 = 18
+        assert anatomize_rce_formula(23, 4) == pytest.approx(18.0)
+
+    def test_optimality_factor(self):
+        # factor = 1 + r / (n (l-1))
+        assert anatomize_optimality_factor(23, 4) \
+            == pytest.approx(1 + 3 / (23 * 3))
+        assert anatomize_optimality_factor(20, 4) == pytest.approx(1.0)
+
+    def test_factor_at_most_1_plus_1_over_n(self):
+        for n in range(10, 200):
+            for l in (2, 3, 5, 7):
+                if n < l:
+                    continue
+                assert anatomize_optimality_factor(n, l) <= 1 + 1 / n
+
+    def test_formula_consistency_with_factor(self):
+        for n, l in [(23, 4), (57, 5), (101, 10)]:
+            expected = (rce_lower_bound(n, l)
+                        * anatomize_optimality_factor(n, l))
+            assert anatomize_rce_formula(n, l) == pytest.approx(expected)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            anatomize_rce_formula(-1, 2)
+        with pytest.raises(ReproError):
+            anatomize_optimality_factor(10, 1)
+
+
+class TestMeasuredRCE:
+    def test_group_rce_distinct_values(self):
+        """A group of l distinct values: RCE = l * (1 - 1/l) = l - 1."""
+        table = make_table([0, 1, 2, 3])
+        partition = Partition(table, [(0, 1, 2, 3)])
+        assert group_rce(partition[0]) == pytest.approx(3.0)
+
+    def test_group_rce_with_repeats(self):
+        """Histogram {a:2, b:2}: each tuple has Err = 0.5 -> total 2."""
+        table = make_table([0, 0, 1, 1])
+        partition = Partition(table, [(0, 1, 2, 3)])
+        assert group_rce(partition[0]) == pytest.approx(2.0)
+
+    def test_anatomy_rce_sums_groups(self):
+        table = make_table([0, 1, 2, 3, 0, 1, 2, 3])
+        partition = Partition(table, [(0, 1, 2, 3), (4, 5, 6, 7)])
+        assert anatomy_rce(partition) == pytest.approx(6.0)
+
+    def test_algorithm_achieves_theorem_4(self):
+        """Anatomize's measured RCE equals the closed form across a grid
+        of (n, l)."""
+        rng = np.random.default_rng(0)
+        for l in (2, 3, 5):
+            for n in (l * 6, l * 6 + 1, l * 6 + l - 1):
+                codes = rng.integers(0, 50, size=n)
+                # rebalance to guarantee eligibility
+                codes = np.resize(np.arange(max(l * 2, 10)), n)
+                table = make_table(list(codes))
+                partition = anatomize_partition(table, l=l, seed=1)
+                assert anatomy_rce(partition) == pytest.approx(
+                    anatomize_rce_formula(n, l))
+
+    def test_measured_rce_never_below_lower_bound(self, occ3):
+        partition = anatomize_partition(occ3, l=10, seed=0)
+        assert anatomy_rce(partition) >= rce_lower_bound(len(occ3), 10)
+
+
+class TestGeneralizationRCE:
+    def test_sums_per_tuple_errors(self):
+        assert generalization_rce([1, 2, 4]) \
+            == pytest.approx(0 + 0.5 + 0.75)
+
+    def test_wide_boxes_approach_n(self):
+        volumes = [10**6] * 100
+        assert generalization_rce(volumes) == pytest.approx(100.0,
+                                                            abs=0.01)
+
+    def test_generalization_rce_exceeds_anatomy_on_census(
+            self, occ3, occ3_published, occ3_generalized):
+        """On real-ish data, anatomy's RCE stays near the bound while
+        generalization's approaches n (Section 4's conclusion)."""
+        ana = anatomy_rce(occ3_published.partition)
+        gen = generalization_rce(occ3_generalized.box_volumes_per_tuple())
+        assert ana < gen

@@ -1,0 +1,109 @@
+"""Tests for possible-world sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.core.partition import Partition
+from repro.core.tables import AnatomizedTables
+from repro.core.worlds import SampledWorldEstimator, sample_world
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.exceptions import ReproError
+from repro.query.estimators import AnatomyEstimator, ExactEvaluator
+from repro.query.workload import make_workload
+
+
+@pytest.fixture()
+def paper_published(hospital):
+    return AnatomizedTables.from_partition(
+        Partition(hospital, PAPER_PARTITION_GROUPS))
+
+
+class TestSampleWorld:
+    def test_world_preserves_qi_values(self, paper_published):
+        world = sample_world(paper_published,
+                             np.random.default_rng(0))
+        assert np.array_equal(world.qi_matrix(),
+                              paper_published.qit.qi_codes)
+
+    def test_world_preserves_group_histograms(self, paper_published):
+        rng = np.random.default_rng(1)
+        world = sample_world(paper_published, rng)
+        for gid in (1, 2):
+            rows = paper_published.qit.rows_of_group(gid)
+            codes, counts = np.unique(world.sensitive_column[rows],
+                                      return_counts=True)
+            assert {int(c): int(k) for c, k in zip(codes, counts)} \
+                == paper_published.st.group_histogram(gid)
+
+    def test_worlds_vary(self, paper_published):
+        rng = np.random.default_rng(2)
+        worlds = {tuple(sample_world(paper_published,
+                                     rng).sensitive_column)
+                  for _ in range(20)}
+        assert len(worlds) > 1
+
+    def test_per_tuple_frequencies_match_equation_2(self,
+                                                    paper_published):
+        """Over many worlds, tuple 1 carries dyspepsia ~50% of the time
+        (Equation 2's uniformity)."""
+        rng = np.random.default_rng(3)
+        trials = 400
+        hits = 0
+        target = paper_published.schema.sensitive.encode("dyspepsia")
+        for _ in range(trials):
+            world = sample_world(paper_published, rng)
+            if int(world.sensitive_column[0]) == target:
+                hits += 1
+        assert 0.4 < hits / trials < 0.6
+
+    def test_inconsistent_publication_rejected(self, hospital,
+                                               paper_published):
+        from repro.core.tables import SensitiveTable
+        st = paper_published.st
+        # drop one record so group 2's counts disagree with the QIT
+        broken = SensitiveTable(paper_published.schema,
+                                st.group_ids[:-1],
+                                st.sensitive_codes[:-1],
+                                st.counts[:-1])
+        bad = AnatomizedTables(paper_published.schema,
+                               paper_published.qit, broken)
+        with pytest.raises(ReproError, match="disagree"):
+            sample_world(bad, np.random.default_rng(0))
+
+
+class TestSampledWorldEstimator:
+    def test_converges_to_analytic_estimator(self, occ3,
+                                             occ3_published):
+        """Monte-Carlo over worlds agrees with the closed-form anatomy
+        estimator within sampling error."""
+        analytic = AnatomyEstimator(occ3_published)
+        monte_carlo = SampledWorldEstimator(occ3_published, worlds=30,
+                                            seed=0)
+        for q in make_workload(occ3.schema, 2, 0.05, 8, seed=5):
+            a = analytic.estimate(q)
+            m, sd = monte_carlo.estimate_with_stddev(q)
+            assert abs(a - m) <= max(4 * sd / np.sqrt(30), 0.05 * a + 2)
+
+    def test_stddev_zero_for_sensitive_only_query(self,
+                                                  paper_published,
+                                                  hospital):
+        """Queries touching only the sensitive attribute are identical
+        in every world (the ST is fixed)."""
+        from repro.query.predicates import CountQuery
+        schema = hospital.schema
+        q = CountQuery(schema,
+                       {"Sex": [0, 1]},
+                       [schema.sensitive.encode("flu")])
+        est = SampledWorldEstimator(paper_published, worlds=10, seed=1)
+        mean, sd = est.estimate_with_stddev(q)
+        assert sd == 0.0
+        assert mean == ExactEvaluator(hospital).estimate(q)
+
+    def test_world_count(self, paper_published):
+        est = SampledWorldEstimator(paper_published, worlds=7, seed=0)
+        assert est.world_count == 7
+
+    def test_invalid_world_count(self, paper_published):
+        with pytest.raises(ReproError):
+            SampledWorldEstimator(paper_published, worlds=0)

@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic Adult-like dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.core.diversity import max_feasible_l
+from repro.dataset.adult import (
+    ADULT_QI_NAMES,
+    EDUCATION,
+    NATIVE_COUNTRY,
+    OCCUPATION,
+    adult_attribute,
+    adult_schema,
+    generate_adult,
+    generate_adult_with_income,
+)
+from repro.exceptions import EligibilityError, SchemaError
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return generate_adult(n=8_000, seed=13)
+
+
+class TestSchema:
+    def test_classic_domain_sizes(self):
+        assert adult_attribute("age").size == 74
+        assert adult_attribute("workclass").size == 8
+        assert adult_attribute("education").size == 16
+        assert adult_attribute("marital-status").size == 7
+        assert adult_attribute("occupation").size == 14
+        assert adult_attribute("race").size == 5
+        assert adult_attribute("sex").size == 2
+        assert adult_attribute("native-country").size == 41
+        assert adult_attribute("income").size == 2
+
+    def test_real_labels(self):
+        assert "Prof-specialty" in OCCUPATION
+        assert "Bachelors" in EDUCATION
+        assert "United-States" in NATIVE_COUNTRY
+
+    def test_default_view(self):
+        schema = adult_schema()
+        assert schema.qi_names == ADULT_QI_NAMES
+        assert schema.sensitive.name == "occupation"
+
+    def test_income_view(self):
+        schema = adult_schema("income")
+        assert schema.sensitive.size == 2
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(SchemaError):
+            adult_attribute("nope")
+        with pytest.raises(SchemaError):
+            adult_schema("age")
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_adult(500, seed=3)
+        b = generate_adult(500, seed=3)
+        assert np.array_equal(a.code_matrix(), b.code_matrix())
+
+    def test_workclass_private_dominates(self, adult):
+        counts = np.bincount(adult.column("workclass"), minlength=8)
+        private = adult.schema.attribute("workclass").encode("Private")
+        assert counts[private] > 0.6 * len(adult)
+
+    def test_us_dominates_country(self, adult):
+        counts = np.bincount(adult.column("native-country"),
+                             minlength=41)
+        us = adult.schema.attribute("native-country").encode(
+            "United-States")
+        assert counts[us] > 0.7 * len(adult)
+
+    def test_education_occupation_correlation(self, adult):
+        edu = adult.column("education").astype(float)
+        occ = adult.sensitive_column.astype(float)
+        assert np.corrcoef(edu, occ)[0, 1] > 0.3
+
+    def test_occupation_supports_l6(self, adult):
+        """The standard l-diversity setting on Adult (occupation
+        sensitive) must be feasible at moderate l."""
+        assert max_feasible_l(adult) >= 6
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(SchemaError):
+            generate_adult(-5)
+
+
+class TestEndToEnd:
+    def test_anatomize_adult(self, adult):
+        published = anatomize(adult, l=6, seed=0)
+        assert published.partition.is_l_diverse(6)
+        assert published.breach_probability_bound() <= 1 / 6 + 1e-12
+
+    def test_income_view_eligibility(self):
+        """Binary income at the real data's ~76/24 split: even l=2 is
+        infeasible (the majority class exceeds n/2) — the eligibility
+        condition catching a famously skewed sensitive attribute."""
+        table = generate_adult_with_income(n=2_000, seed=13)
+        feasible = max_feasible_l(table)
+        assert 1.0 < feasible < 2.0  # ~ 1 / 0.76
+        published = anatomize(table, l=1, seed=0)
+        assert published.n == 2_000
+        with pytest.raises(EligibilityError):
+            anatomize(table, l=2)
+
+    def test_query_accuracy_on_adult(self, adult):
+        from repro.generalization.mondrian import mondrian
+        from repro.query.estimators import (
+            AnatomyEstimator, ExactEvaluator, GeneralizationEstimator)
+        from repro.query.evaluate import evaluate_workload_many
+        from repro.query.workload import make_workload
+
+        published = anatomize(adult, l=6, seed=0)
+        generalized = mondrian(adult, l=6)
+        workload = make_workload(adult.schema, qd=4, s=0.05, count=80,
+                                 seed=2)
+        results = evaluate_workload_many(
+            workload, ExactEvaluator(adult),
+            {"ana": AnatomyEstimator(published),
+             "gen": GeneralizationEstimator(generalized)})
+        assert results["ana"].average_relative_error() \
+            < results["gen"].average_relative_error()

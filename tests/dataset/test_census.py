@@ -1,0 +1,212 @@
+"""Unit tests for the synthetic CENSUS generator (paper Table 6)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.census import (
+    CENSUS_ATTRIBUTES,
+    QI_ATTRIBUTE_NAMES,
+    SENSITIVE_OCCUPATION,
+    SENSITIVE_SALARY,
+    census_attribute,
+    census_schema,
+    census_taxonomy,
+    generate_census_codes,
+)
+from repro.dataset.taxonomy import FreeTaxonomy
+from repro.exceptions import SchemaError
+
+
+class TestTable6Schema:
+    """The generator must match the paper's Table 6 exactly."""
+
+    EXPECTED_SIZES = {
+        "Age": 78, "Gender": 2, "Education": 17, "Marital": 6,
+        "Race": 9, "Work-class": 10, "Country": 83,
+        "Occupation": 50, "Salary-class": 50,
+    }
+
+    EXPECTED_TAXONOMY_HEIGHTS = {
+        "Gender": 2, "Marital": 3, "Race": 2, "Work-class": 4,
+        "Country": 3,
+    }
+
+    def test_attribute_count(self):
+        assert len(CENSUS_ATTRIBUTES) == 9
+
+    def test_domain_sizes(self):
+        for spec in CENSUS_ATTRIBUTES:
+            assert spec.size == self.EXPECTED_SIZES[spec.name]
+            assert census_attribute(spec.name).size == spec.size
+
+    def test_sensitive_attributes(self):
+        sens = {s.name for s in CENSUS_ATTRIBUTES if s.sensitive}
+        assert sens == {SENSITIVE_OCCUPATION, SENSITIVE_SALARY}
+
+    def test_qi_order(self):
+        assert QI_ATTRIBUTE_NAMES == ("Age", "Gender", "Education",
+                                      "Marital", "Race", "Work-class",
+                                      "Country")
+
+    def test_free_interval_attributes(self):
+        for name in ("Age", "Education"):
+            assert isinstance(census_taxonomy(name), FreeTaxonomy)
+
+    def test_taxonomy_heights(self):
+        for name, height in self.EXPECTED_TAXONOMY_HEIGHTS.items():
+            tax = census_taxonomy(name)
+            assert not isinstance(tax, FreeTaxonomy)
+            assert tax.height == height
+
+    def test_taxonomy_for_sensitive_raises(self):
+        with pytest.raises(SchemaError, match="sensitive"):
+            census_taxonomy("Occupation")
+
+
+class TestViews:
+    def test_occ_d_schema(self):
+        for d in range(3, 8):
+            schema = census_schema(d, SENSITIVE_OCCUPATION)
+            assert schema.d == d
+            assert schema.qi_names == QI_ATTRIBUTE_NAMES[:d]
+            assert schema.sensitive.name == SENSITIVE_OCCUPATION
+
+    def test_sal_d_schema(self):
+        schema = census_schema(5, SENSITIVE_SALARY)
+        assert schema.sensitive.name == SENSITIVE_SALARY
+
+    def test_invalid_d(self):
+        with pytest.raises(SchemaError):
+            census_schema(0, SENSITIVE_OCCUPATION)
+        with pytest.raises(SchemaError):
+            census_schema(8, SENSITIVE_OCCUPATION)
+
+    def test_invalid_sensitive(self):
+        with pytest.raises(SchemaError):
+            census_schema(3, "Age")
+
+    def test_views_share_population(self, census):
+        occ = census.occ(4)
+        sal = census.sal(4)
+        assert np.array_equal(occ.column("Age"), sal.column("Age"))
+
+    def test_view_cached(self, census):
+        assert census.occ(3) is census.occ(3)
+
+    def test_sample_view(self, census):
+        t = census.sample_view(3, SENSITIVE_OCCUPATION, 100, seed=1)
+        assert len(t) == 100
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_census_codes(500, seed=11)
+        b = generate_census_codes(500, seed=11)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_data(self):
+        a = generate_census_codes(500, seed=11)
+        b = generate_census_codes(500, seed=12)
+        assert not np.array_equal(a, b)
+
+    def test_codes_within_domains(self):
+        codes = generate_census_codes(2_000, seed=5)
+        for i, spec in enumerate(CENSUS_ATTRIBUTES):
+            assert codes[:, i].min() >= 0
+            assert codes[:, i].max() < spec.size
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(SchemaError):
+            generate_census_codes(-1)
+
+    def test_eligibility_for_l10(self, census):
+        """Both sensitive attributes must satisfy the l=10 eligibility
+        condition (at most n/10 tuples per value), or the paper's default
+        experiments could not run."""
+        for sensitive in (SENSITIVE_OCCUPATION, SENSITIVE_SALARY):
+            table = census.view(3, sensitive)
+            hist = table.sensitive_histogram()
+            assert max(hist.values()) <= len(table) / 10
+
+    def test_sensitive_values_all_used(self, census):
+        """The synthetic population should exercise the full 50-value
+        sensitive domains."""
+        occ = census.occ(3)
+        assert occ.distinct_sensitive_count() >= 45
+
+    def test_correlation_education_salary(self, census):
+        """The generator injects a positive education->salary dependency;
+        without it the paper's utility comparison would be vacuous."""
+        sal = census.sal(3)
+        edu = sal.column("Education").astype(float)
+        salary = sal.sensitive_column.astype(float)
+        r = np.corrcoef(edu, salary)[0, 1]
+        assert r > 0.25
+
+    def test_correlation_age_marital(self, census):
+        occ = census.view(4, SENSITIVE_OCCUPATION)
+        age = occ.column("Age").astype(float)
+        marital = occ.column("Marital").astype(float)
+        r = np.corrcoef(age, marital)[0, 1]
+        assert r > 0.25
+
+    def test_country_is_skewed(self, census):
+        occ = census.occ(7)
+        counts = np.bincount(occ.column("Country"), minlength=83)
+        assert counts.max() > 3 * np.median(counts[counts > 0])
+
+
+class TestMarginalTexture:
+    """The scale-invariant lumpiness that defeats the uniform-within-
+    box assumption at every cardinality (see generate_census_codes)."""
+
+    @staticmethod
+    def _lumpiness(codes, size):
+        """Collision probability ratio vs uniform: 1.0 = perfectly
+        uniform, higher = lumpier."""
+        counts = np.bincount(codes, minlength=size).astype(float)
+        p = counts / counts.sum()
+        return float((p * p).sum() * size)
+
+    def test_age_marginal_is_lumpy(self, census):
+        occ = census.occ(3)
+        assert self._lumpiness(occ.column("Age"), 78) > 1.3
+
+    def test_education_marginal_is_lumpy(self, census):
+        occ = census.occ(3)
+        assert self._lumpiness(occ.column("Education"), 17) > 1.2
+
+    def test_lumpiness_survives_scale(self):
+        """The texture must not smooth out as n grows — the property
+        that keeps generalization's uniformity assumption wrong at the
+        paper's 500k scale."""
+        from repro.dataset.census import generate_census_codes
+        small = generate_census_codes(5_000, seed=42)
+        large = generate_census_codes(80_000, seed=42)
+        lump_small = self._lumpiness(small[:, 0], 78)
+        lump_large = self._lumpiness(large[:, 0], 78)
+        assert lump_large > 0.8 * lump_small
+        assert lump_large > 1.3
+
+    def test_sensitive_share_cap_respected(self):
+        """Occupation / Salary textures are capped so every l up to 25
+        stays eligible in expectation."""
+        from repro.dataset.census import generate_census_codes
+        codes = generate_census_codes(60_000, seed=42)
+        for col in (7, 8):  # Occupation, Salary-class
+            counts = np.bincount(codes[:, col], minlength=50)
+            assert counts.max() / counts.sum() < 0.05
+
+    def test_texture_fixed_per_seed(self):
+        """The lumps are part of the dataset, not per-call noise: two
+        generations with one seed put the spikes on the same codes."""
+        from repro.dataset.census import generate_census_codes
+        a = generate_census_codes(20_000, seed=9)
+        b = generate_census_codes(20_000, seed=9)
+        assert np.array_equal(a, b)
+        heavy_a = set(np.argsort(np.bincount(a[:, 0],
+                                             minlength=78))[-5:])
+        c = generate_census_codes(40_000, seed=9)
+        heavy_c = set(np.argsort(np.bincount(c[:, 0],
+                                             minlength=78))[-5:])
+        assert len(heavy_a & heavy_c) >= 3

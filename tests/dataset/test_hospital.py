@@ -1,0 +1,42 @@
+"""Tests for the paper's worked-example dataset (Table 1)."""
+
+from repro.dataset.hospital import (
+    ALICE_ROW,
+    BOB_ROW,
+    HOSPITAL_ROWS,
+    PAPER_PARTITION_GROUPS,
+    hospital_table,
+)
+
+
+def test_eight_patients():
+    assert len(HOSPITAL_ROWS) == 8
+    assert len(hospital_table()) == 8
+
+
+def test_bob_and_alice_rows():
+    assert HOSPITAL_ROWS[BOB_ROW] == (23, "M", 11000, "pneumonia")
+    assert HOSPITAL_ROWS[ALICE_ROW] == (65, "F", 25000, "flu")
+
+
+def test_schema_shape():
+    schema = hospital_table().schema
+    assert schema.qi_names == ("Age", "Sex", "Zipcode")
+    assert schema.sensitive.name == "Disease"
+    assert schema.sensitive.size == 5  # 5 distinct diseases
+
+
+def test_rows_decode_to_paper_values(hospital):
+    for i, row in enumerate(HOSPITAL_ROWS):
+        assert hospital.decode_row(i) == row
+
+
+def test_paper_partition_covers_all_rows():
+    rows = sorted(r for g in PAPER_PARTITION_GROUPS for r in g)
+    assert rows == list(range(8))
+
+
+def test_alice_and_bella_share_qi(hospital):
+    """Tuples 6 and 7 have identical QI values (the individual-level
+    discussion of Section 3.2 hinges on this)."""
+    assert hospital.decode_row(5)[:3] == hospital.decode_row(6)[:3]

@@ -1,0 +1,158 @@
+"""Unit tests for CSV serialization and schema inference."""
+
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.core.privacy import AnatomyAdversary
+from repro.dataset.io import (
+    infer_schema_from_csv,
+    load_anatomized,
+    load_table,
+    save_anatomized,
+    save_generalized,
+    save_table,
+)
+from repro.exceptions import SchemaError
+from repro.generalization.mondrian import mondrian
+
+
+class TestTableRoundTrip:
+    def test_roundtrip_hospital(self, tmp_path, hospital):
+        path = tmp_path / "micro.csv"
+        save_table(hospital, path)
+        loaded = load_table(hospital.schema, path)
+        assert len(loaded) == len(hospital)
+        for i in range(len(hospital)):
+            assert loaded.decode_row(i) == hospital.decode_row(i)
+
+    def test_header_mismatch_rejected(self, tmp_path, hospital,
+                                      tiny_schema):
+        path = tmp_path / "micro.csv"
+        save_table(hospital, path)
+        with pytest.raises(SchemaError, match="header"):
+            load_table(tiny_schema, path)
+
+    def test_empty_file_rejected(self, tmp_path, hospital):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            load_table(hospital.schema, path)
+
+    def test_out_of_domain_value_rejected(self, tmp_path, hospital):
+        path = tmp_path / "bad.csv"
+        path.write_text("Age,Sex,Zipcode,Disease\n"
+                        "999,M,11000,flu\n")
+        with pytest.raises(SchemaError, match="not in domain"):
+            load_table(hospital.schema, path)
+
+    def test_ragged_row_rejected(self, tmp_path, hospital):
+        path = tmp_path / "bad.csv"
+        path.write_text("Age,Sex,Zipcode,Disease\n23,M,11000\n")
+        with pytest.raises(SchemaError, match="expected"):
+            load_table(hospital.schema, path)
+
+
+class TestAnatomizedRoundTrip:
+    def test_roundtrip_preserves_adversary_view(self, tmp_path,
+                                                hospital):
+        published = anatomize(hospital, l=2, seed=0)
+        save_anatomized(published, tmp_path / "qit.csv",
+                        tmp_path / "st.csv")
+        loaded = load_anatomized(hospital.schema,
+                                 tmp_path / "qit.csv",
+                                 tmp_path / "st.csv")
+        assert loaded.partition is None  # released info only
+        assert loaded.n == published.n
+        assert loaded.breach_probability_bound() \
+            == published.breach_probability_bound()
+        # the adversary reaches identical posteriors through the files
+        adv_orig = AnatomyAdversary(published)
+        adv_load = AnatomyAdversary(loaded)
+        bob = adv_orig.encode_qi((23, "M", 11000))
+        assert adv_orig.posterior(bob) == adv_load.posterior(bob)
+
+    def test_inconsistent_files_rejected(self, tmp_path, hospital):
+        published = anatomize(hospital, l=2, seed=0)
+        save_anatomized(published, tmp_path / "qit.csv",
+                        tmp_path / "st.csv")
+        # truncate the ST: counts no longer match the QIT
+        st_lines = (tmp_path / "st.csv").read_text().splitlines()
+        (tmp_path / "st.csv").write_text("\n".join(st_lines[:-1]) + "\n")
+        with pytest.raises(SchemaError, match="consistent"):
+            load_anatomized(hospital.schema, tmp_path / "qit.csv",
+                            tmp_path / "st.csv")
+
+    def test_bad_headers_rejected(self, tmp_path, hospital):
+        published = anatomize(hospital, l=2, seed=0)
+        save_anatomized(published, tmp_path / "qit.csv",
+                        tmp_path / "st.csv")
+        (tmp_path / "qit.csv").write_text("X,Y\n")
+        with pytest.raises(SchemaError, match="QIT header"):
+            load_anatomized(hospital.schema, tmp_path / "qit.csv",
+                            tmp_path / "st.csv")
+
+
+class TestGeneralizedExport:
+    def test_written_rows_match_tuple_count(self, tmp_path, hospital):
+        gt = mondrian(hospital, l=2)
+        path = tmp_path / "gen.csv"
+        save_generalized(gt, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + gt.n  # header + one row per tuple
+
+    def test_intervals_rendered(self, tmp_path, hospital):
+        gt = mondrian(hospital, l=2)
+        path = tmp_path / "gen.csv"
+        save_generalized(gt, path)
+        body = path.read_text()
+        assert ".." in body  # at least one non-degenerate interval
+
+
+class TestSchemaInference:
+    def test_numeric_and_categorical_detection(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("Age,City,Disease\n"
+                        "30,paris,flu\n"
+                        "41,rome,cold\n"
+                        "30,oslo,flu\n")
+        schema = infer_schema_from_csv(path)
+        assert schema.qi_names == ("Age", "City")
+        assert schema.sensitive.name == "Disease"
+        assert schema.attribute("Age").is_numeric
+        assert not schema.attribute("City").is_numeric
+        assert schema.attribute("Age").values == (30, 41)
+
+    def test_roundtrip_after_inference(self, tmp_path, hospital):
+        path = tmp_path / "micro.csv"
+        save_table(hospital, path)
+        schema = infer_schema_from_csv(path)
+        loaded = load_table(schema, path)
+        assert len(loaded) == 8
+        # domains inferred from data are subsets of the originals
+        assert set(schema.attribute("Age").values) \
+            <= set(hospital.schema.attribute("Age").values)
+
+    def test_too_few_columns_rejected(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("A\n1\n")
+        with pytest.raises(SchemaError, match="2 columns"):
+            infer_schema_from_csv(path)
+
+    def test_ragged_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("A,B\n1,2\n3\n")
+        with pytest.raises(SchemaError, match="ragged"):
+            infer_schema_from_csv(path)
+
+    def test_end_to_end_publish_from_foreign_csv(self, tmp_path):
+        """The CLI's core path: infer -> load -> anatomize -> verify."""
+        path = tmp_path / "foreign.csv"
+        rows = ["Age,Job,Illness"]
+        illnesses = ["a", "b", "c", "d"]
+        for i in range(40):
+            rows.append(f"{20 + i % 9},job{i % 5},{illnesses[i % 4]}")
+        path.write_text("\n".join(rows) + "\n")
+        schema = infer_schema_from_csv(path)
+        table = load_table(schema, path)
+        published = anatomize(table, l=4, seed=0)
+        assert published.breach_probability_bound() <= 0.25

@@ -1,0 +1,127 @@
+"""Unit tests for taxonomy trees and free-interval recoding domains."""
+
+import pytest
+
+from repro.dataset.taxonomy import FreeTaxonomy, Taxonomy
+from repro.exceptions import SchemaError
+
+
+class TestTaxonomy:
+    def test_root_covers_domain(self):
+        tax = Taxonomy(size=16, height=4)
+        assert tax.interval(7, 0) == (0, 15)
+
+    def test_leaf_level_resolves_values(self):
+        tax = Taxonomy(size=16, height=4)  # fanout 2, 2**4 = 16
+        assert tax.fanout == 2
+        for code in range(16):
+            assert tax.interval(code, 4) == (code, code)
+
+    def test_levels_nest(self):
+        tax = Taxonomy(size=16, height=4)
+        for code in range(16):
+            prev = tax.interval(code, 4)
+            for level in range(3, -1, -1):
+                cur = tax.interval(code, level)
+                assert cur[0] <= prev[0] and cur[1] >= prev[1]
+                prev = cur
+
+    def test_intervals_at_level_partition_domain(self):
+        tax = Taxonomy(size=10, height=3)
+        for level in range(4):
+            seen = set()
+            intervals = set()
+            for code in range(10):
+                lo, hi = tax.interval(code, level)
+                assert lo <= code <= hi
+                intervals.add((lo, hi))
+            for lo, hi in intervals:
+                cell = set(range(lo, hi + 1))
+                assert not (cell & seen)
+                seen |= cell
+            assert seen == set(range(10))
+
+    def test_fanout_derived_to_resolve_leaves(self):
+        tax = Taxonomy(size=83, height=3)  # the Country attribute
+        assert tax.fanout ** 3 >= 83
+        assert (tax.fanout - 1) ** 3 < 83 or tax.fanout == 2
+
+    def test_explicit_fanout(self):
+        tax = Taxonomy(size=9, height=2, fanout=3)
+        assert tax.level_width(1) == 3
+        assert tax.interval(4, 1) == (3, 5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SchemaError):
+            Taxonomy(size=0, height=1)
+        with pytest.raises(SchemaError):
+            Taxonomy(size=5, height=-1)
+
+    def test_interval_code_bounds(self):
+        tax = Taxonomy(size=8, height=3)
+        with pytest.raises(SchemaError):
+            tax.interval(8, 1)
+        with pytest.raises(SchemaError):
+            tax.level_width(9)
+
+    def test_generalize_interval_snaps_to_node(self):
+        tax = Taxonomy(size=16, height=4)
+        level, lo, hi = tax.generalize_interval(2, 3)
+        assert (lo, hi) == (2, 3) and level == 3
+        level, lo, hi = tax.generalize_interval(3, 4)
+        # crossing a level-3 boundary forces a wider node
+        assert lo <= 3 and hi >= 4 and hi - lo + 1 >= 4
+
+    def test_generalize_full_domain(self):
+        tax = Taxonomy(size=16, height=4)
+        level, lo, hi = tax.generalize_interval(0, 15)
+        assert (level, lo, hi) == (0, 0, 15)
+
+    def test_generalize_invalid_interval(self):
+        tax = Taxonomy(size=16, height=4)
+        with pytest.raises(SchemaError):
+            tax.generalize_interval(5, 3)
+
+    def test_allowed_cuts_are_node_boundaries(self):
+        tax = Taxonomy(size=16, height=4)
+        cuts = tax.allowed_cuts(0, 15)
+        assert 7 in cuts          # level-1 boundary
+        assert 3 in cuts          # level-2 boundary
+        assert all(0 <= c < 15 for c in cuts)
+
+    def test_allowed_cuts_inside_subinterval(self):
+        tax = Taxonomy(size=16, height=4)
+        cuts = tax.allowed_cuts(4, 7)
+        assert 5 in cuts
+        assert all(4 <= c < 7 for c in cuts)
+
+    def test_allowed_cuts_empty_for_single_value(self):
+        tax = Taxonomy(size=16, height=4)
+        assert tax.allowed_cuts(3, 3) == []
+
+
+class TestFreeTaxonomy:
+    def test_any_cut_allowed(self):
+        free = FreeTaxonomy(10)
+        assert free.allowed_cuts(2, 6) == [2, 3, 4, 5]
+
+    def test_generalize_is_identity(self):
+        free = FreeTaxonomy(10)
+        assert free.generalize_interval(3, 7)[1:] == (3, 7)
+
+    def test_generalize_full_domain_is_root(self):
+        free = FreeTaxonomy(10)
+        level, lo, hi = free.generalize_interval(0, 9)
+        assert level == 0 and (lo, hi) == (0, 9)
+
+    def test_interval_levels(self):
+        free = FreeTaxonomy(10)
+        assert free.interval(4, 0) == (0, 9)
+        assert free.interval(4, 1) == (4, 4)
+
+    def test_bounds_checked(self):
+        free = FreeTaxonomy(10)
+        with pytest.raises(SchemaError):
+            free.allowed_cuts(0, 10)
+        with pytest.raises(SchemaError):
+            free.interval(10, 1)

@@ -1,0 +1,91 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.charts import ascii_chart, figure_charts
+from repro.experiments.figures import FigureResult, Series
+
+
+@pytest.fixture()
+def series():
+    return Series("OCC-d", "d", xs=[3, 4, 5, 6, 7],
+                  anatomy=[2.3, 2.6, 2.4, 2.2, 2.4],
+                  generalization=[5.0, 17.1, 28.4, 29.0, 39.2])
+
+
+class TestAsciiChart:
+    def test_contains_marks(self, series):
+        chart = ascii_chart(series)
+        assert "a" in chart and "g" in chart
+        assert "OCC-d" in chart
+
+    def test_extremes_on_edge_rows(self, series):
+        chart = ascii_chart(series, height=10)
+        lines = chart.splitlines()
+        plot_lines = [ln for ln in lines if "|" in ln]
+        # max (39.2, generalization) on the top row, min (2.2, anatomy)
+        # on the bottom row
+        assert "g" in plot_lines[0]
+        assert "a" in plot_lines[-1]
+
+    def test_tick_labels(self, series):
+        chart = ascii_chart(series)
+        assert "39.2" in chart
+        assert "2.2" in chart
+
+    def test_x_labels(self, series):
+        chart = ascii_chart(series)
+        last_lines = chart.splitlines()[-2:]
+        assert any("3" in ln and "7" in ln for ln in last_lines)
+
+    def test_collision_marker(self):
+        s = Series("P", "x", xs=[1, 2], anatomy=[5.0, 6.0],
+                   generalization=[5.0, 60.0])
+        chart = ascii_chart(s, height=6)
+        assert "*" in chart
+
+    def test_linear_scale(self, series):
+        chart = ascii_chart(series, log_y=False)
+        assert "log scale" not in chart
+
+    def test_log_ordering(self, series):
+        """On a log axis the generalization marks sit above anatomy's
+        in every column."""
+        chart = ascii_chart(series, height=16, width=60)
+        lines = [ln.split("|", 1)[1] for ln in chart.splitlines()
+                 if "|" in ln]
+        for col in range(len(lines[0])):
+            rows_a = [r for r, ln in enumerate(lines)
+                      if col < len(ln) and ln[col] == "a"]
+            rows_g = [r for r, ln in enumerate(lines)
+                      if col < len(ln) and ln[col] == "g"]
+            if rows_a and rows_g:
+                assert min(rows_g) < min(rows_a)
+
+    def test_too_small_area_rejected(self, series):
+        with pytest.raises(ReproError):
+            ascii_chart(series, height=2)
+        with pytest.raises(ReproError):
+            ascii_chart(series, width=4)
+
+    def test_empty_series_rejected(self):
+        s = Series("P", "x", xs=[1], anatomy=[0.0],
+                   generalization=[0.0])
+        with pytest.raises(ReproError):
+            ascii_chart(s, width=8)
+
+    def test_constant_series(self):
+        s = Series("P", "x", xs=[1, 2], anatomy=[5.0, 5.0],
+                   generalization=[5.0, 5.0])
+        chart = ascii_chart(s, height=6)
+        assert "*" in chart
+
+
+class TestFigureCharts:
+    def test_stacks_panels(self, series):
+        result = FigureResult("fig4", "Query accuracy vs d", "err",
+                              [series, series])
+        text = figure_charts(result)
+        assert text.count("OCC-d") == 2
+        assert "fig4" in text

@@ -1,0 +1,56 @@
+"""Unit tests for experiment configuration (Table 7)."""
+
+from repro.experiments.config import (
+    DEFAULT_CONFIG,
+    PAPER_CONFIG,
+    SMOKE_CONFIG,
+)
+
+
+class TestPaperConfig:
+    """PAPER_CONFIG must match Table 7 verbatim."""
+
+    def test_l_is_10(self):
+        assert PAPER_CONFIG.l == 10
+
+    def test_cardinalities(self):
+        assert PAPER_CONFIG.cardinalities == (100_000, 200_000, 300_000,
+                                              400_000, 500_000)
+        assert PAPER_CONFIG.default_n == 300_000
+
+    def test_d_values(self):
+        assert PAPER_CONFIG.d_values == (3, 4, 5, 6, 7)
+        assert PAPER_CONFIG.default_d == 5
+
+    def test_selectivities(self):
+        assert PAPER_CONFIG.selectivities[0] == 0.01
+        assert PAPER_CONFIG.selectivities[-1] == 0.10
+        assert PAPER_CONFIG.default_s == 0.05
+
+    def test_workload_size(self):
+        assert PAPER_CONFIG.queries_per_workload == 10_000
+
+    def test_default_qd_is_d(self):
+        assert PAPER_CONFIG.default_qd(5) == 5
+        assert PAPER_CONFIG.default_qd(3) == 3
+
+
+class TestScaledConfigs:
+    def test_default_config_smaller(self):
+        assert DEFAULT_CONFIG.default_n < PAPER_CONFIG.default_n
+        assert (DEFAULT_CONFIG.queries_per_workload
+                < PAPER_CONFIG.queries_per_workload)
+
+    def test_default_preserves_structure(self):
+        assert DEFAULT_CONFIG.l == PAPER_CONFIG.l
+        assert DEFAULT_CONFIG.d_values == PAPER_CONFIG.d_values
+        assert DEFAULT_CONFIG.selectivities == PAPER_CONFIG.selectivities
+        assert len(DEFAULT_CONFIG.cardinalities) == 5
+
+    def test_smoke_config_tiny(self):
+        assert SMOKE_CONFIG.population <= 10_000
+        assert SMOKE_CONFIG.queries_per_workload <= 100
+
+    def test_population_covers_max_cardinality(self):
+        for config in (PAPER_CONFIG, DEFAULT_CONFIG, SMOKE_CONFIG):
+            assert config.population >= max(config.cardinalities)

@@ -1,0 +1,81 @@
+"""Smoke tests for the per-figure drivers (full runs live in
+benchmarks/)."""
+
+import pytest
+
+from repro.dataset.census import CensusDataset
+from repro.experiments.config import SMOKE_CONFIG
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    figure4,
+    figure5,
+    figure7,
+    figure8,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CensusDataset(n=SMOKE_CONFIG.population,
+                         seed=SMOKE_CONFIG.data_seed)
+
+
+class TestFigure4:
+    def test_panels_and_points(self, dataset):
+        result = figure4(SMOKE_CONFIG, dataset=dataset)
+        assert len(result.series) == 2  # OCC and SAL
+        for series in result.series:
+            assert series.xs == list(SMOKE_CONFIG.d_values)
+            assert len(series.anatomy) == len(series.xs)
+            assert len(series.generalization) == len(series.xs)
+
+    def test_anatomy_beats_generalization_at_high_d(self, dataset):
+        result = figure4(SMOKE_CONFIG, dataset=dataset)
+        for series in result.series:
+            assert series.anatomy[-1] < series.generalization[-1]
+
+
+class TestFigure5:
+    def test_panel_structure(self, dataset):
+        result = figure5(SMOKE_CONFIG, dataset=dataset)
+        # focus d values x two datasets
+        assert len(result.series) == 2 * len(SMOKE_CONFIG.focus_d_values)
+        for series in result.series:
+            d = int(series.label.split("-")[1])
+            assert series.xs == list(range(1, d + 1))
+
+
+class TestFigure7:
+    def test_sweeps_cardinality(self, dataset):
+        result = figure7(SMOKE_CONFIG, dataset=dataset)
+        for series in result.series:
+            assert series.xs == list(SMOKE_CONFIG.cardinalities)
+
+
+class TestFigure8:
+    def test_io_grows_with_d(self, dataset):
+        result = figure8(SMOKE_CONFIG, dataset=dataset)
+        for series in result.series:
+            assert series.anatomy[-1] > series.anatomy[0]
+            assert series.generalization[-1] > series.generalization[0]
+
+    def test_anatomy_cheaper_at_high_d(self, dataset):
+        """At smoke scale (n=2k) Mondrian's shallow tree can undercut
+        Anatomize's fixed pass count for small d; the paper's gap must
+        still show at the top of the d sweep."""
+        result = figure8(SMOKE_CONFIG, dataset=dataset)
+        for series in result.series:
+            assert series.anatomy[-1] < series.generalization[-1]
+
+
+class TestRegistry:
+    def test_all_six_figures_registered(self):
+        assert set(ALL_FIGURES) == {"fig4", "fig5", "fig6", "fig7",
+                                    "fig8", "fig9"}
+
+    def test_series_ratio(self, dataset):
+        result = figure4(SMOKE_CONFIG, dataset=dataset)
+        series = result.series[0]
+        ratios = series.ratio()
+        assert len(ratios) == len(series.xs)
+        assert all(r > 0 for r in ratios)

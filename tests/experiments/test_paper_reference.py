@@ -1,0 +1,84 @@
+"""Unit tests for the paper-reference shape checks."""
+
+from repro.experiments.figures import FigureResult, Series
+from repro.experiments.paper_reference import (
+    PAPER_FIG4_OCC,
+    PAPER_FIG8_OCC,
+    PAPER_FIG9_OCC,
+    render_checks,
+    shape_checks,
+)
+
+
+def good_fig4():
+    s = Series("OCC-d", "d", xs=[3, 5, 7],
+               anatomy=[2.3, 2.4, 2.4],
+               generalization=[5.0, 28.0, 39.0])
+    return FigureResult("fig4", "t", "err", [s])
+
+
+def bad_fig4():
+    s = Series("OCC-d", "d", xs=[3, 5, 7],
+               anatomy=[50.0, 50.0, 50.0],
+               generalization=[5.0, 5.0, 5.0])
+    return FigureResult("fig4", "t", "err", [s])
+
+
+class TestDigitizedConstants:
+    def test_paper_series_have_matching_lengths(self):
+        for ref in (PAPER_FIG4_OCC, PAPER_FIG8_OCC, PAPER_FIG9_OCC):
+            keys = list(ref)
+            lengths = {len(ref[k]) for k in keys}
+            assert len(lengths) == 1
+
+    def test_paper_shapes_pass_their_own_checks(self):
+        """The digitized paper values must themselves satisfy the
+        qualitative claims we test measured results against."""
+        s4 = Series("OCC-d", "d", xs=PAPER_FIG4_OCC["d"],
+                    anatomy=PAPER_FIG4_OCC["anatomy"],
+                    generalization=PAPER_FIG4_OCC["generalization"])
+        checks = shape_checks(FigureResult("fig4", "t", "err", [s4]))
+        assert all(c.passed for c in checks)
+
+        s9 = Series("OCC-5", "n", xs=PAPER_FIG9_OCC["n"],
+                    anatomy=PAPER_FIG9_OCC["anatomy"],
+                    generalization=PAPER_FIG9_OCC["generalization"])
+        checks = shape_checks(FigureResult("fig9", "t", "io", [s9]))
+        assert all(c.passed for c in checks)
+
+        s8 = Series("OCC-d", "d", xs=PAPER_FIG8_OCC["d"],
+                    anatomy=PAPER_FIG8_OCC["anatomy"],
+                    generalization=PAPER_FIG8_OCC["generalization"])
+        checks = shape_checks(FigureResult("fig8", "t", "io", [s8]))
+        assert all(c.passed for c in checks)
+
+
+class TestShapeChecks:
+    def test_good_figure_passes(self):
+        checks = shape_checks(good_fig4())
+        assert checks
+        assert all(c.passed for c in checks)
+
+    def test_bad_figure_fails(self):
+        checks = shape_checks(bad_fig4())
+        assert any(not c.passed for c in checks)
+
+    def test_fig5_only_checks_d7(self):
+        s3 = Series("OCC-3", "qd", xs=[1, 2, 3],
+                    anatomy=[2, 2, 2], generalization=[4, 4, 5])
+        s7 = Series("OCC-7", "qd", xs=[1, 2, 3],
+                    anatomy=[2, 2, 2], generalization=[40, 40, 40])
+        result = FigureResult("fig5", "t", "err", [s3, s7])
+        checks = shape_checks(result)
+        names = [c.name for c in checks]
+        assert any("OCC-7" in n and "rescues" in n for n in names)
+        assert not any("OCC-3" in n and "rescues" in n for n in names)
+
+    def test_render(self):
+        text = render_checks(shape_checks(good_fig4()))
+        assert "PASS" in text
+        assert "shape checks passed" in text
+
+    def test_render_reports_failures(self):
+        text = render_checks(shape_checks(bad_fig4()))
+        assert "FAIL" in text

@@ -1,0 +1,65 @@
+"""Unit tests for result rendering."""
+
+from repro.experiments.figures import FigureResult, Series
+from repro.experiments.report import (
+    figure_markdown,
+    render_figure,
+    render_series,
+    summarize_shape,
+)
+
+
+def sample_result():
+    series = Series("OCC-5", "d", xs=[3, 5, 7],
+                    anatomy=[2.5, 2.6, 2.4],
+                    generalization=[5.0, 26.0, 260.0])
+    return FigureResult("fig4", "Query accuracy vs d",
+                        "average relative error (%)", [series])
+
+
+class TestRenderSeries:
+    def test_contains_all_rows(self):
+        text = render_series(sample_result().series[0],
+                             "average relative error (%)")
+        for x in ("3", "5", "7"):
+            assert x in text
+        assert "OCC-5" in text
+        assert "anatomy" in text and "generalization" in text
+
+    def test_ratio_column(self):
+        text = render_series(sample_result().series[0], "err")
+        assert "2.0x" in text          # 5.0 / 2.5
+        assert "108.3x" in text        # 260 / 2.4
+
+
+class TestRenderFigure:
+    def test_title_and_panels(self):
+        text = render_figure(sample_result())
+        assert "fig4" in text
+        assert "Query accuracy vs d" in text
+
+
+class TestMarkdown:
+    def test_valid_markdown_table(self):
+        md = figure_markdown(sample_result())
+        assert "### fig4" in md
+        assert "| d | anatomy | generalization | gen/ana |" in md
+        assert "|---|---|---|---|" in md
+
+    def test_large_numbers_formatted(self):
+        series = Series("OCC-5", "n", xs=[100_000],
+                        anatomy=[120_000.0], generalization=[240_000.0])
+        result = FigureResult("fig9", "I/O", "I/O (pages)", [series])
+        md = figure_markdown(result)
+        assert "120,000" in md
+        assert "100,000" in md
+
+
+class TestSummarizeShape:
+    def test_headline_stats(self):
+        summary = summarize_shape(sample_result())
+        stats = summary["OCC-5"]
+        assert stats["anatomy_max"] == 2.6
+        assert stats["generalization_max"] == 260.0
+        assert stats["min_ratio"] == 2.0
+        assert abs(stats["max_ratio"] - 260.0 / 2.4) < 1e-9

@@ -1,0 +1,59 @@
+"""Integration test for the EXPERIMENTS.md generator."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.run_all import generate_report, main
+
+#: A micro-grid so the whole six-figure report runs in seconds.
+TINY = ExperimentConfig(
+    cardinalities=(600, 1_200),
+    default_n=1_200,
+    d_values=(3, 4),
+    selectivities=(0.05, 0.10),
+    queries_per_workload=25,
+    population=1_500,
+    focus_d_values=(3,),
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(TINY, verbose=False)
+
+
+class TestGenerateReport:
+    def test_covers_all_six_figures(self, report):
+        for fig in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9"):
+            assert f"### {fig}" in report
+
+    def test_contains_markdown_tables(self, report):
+        assert "| anatomy | generalization |" in report
+
+    def test_contains_expected_shape_notes(self, report):
+        assert "Expected shape" in report
+        assert "Theorem 3" in report
+
+    def test_contains_shape_checks(self, report):
+        assert "shape checks passed" in report
+        assert "[PASS]" in report
+
+    def test_header_documents_scale(self, report):
+        assert "1,200" in report  # the tiny default_n
+        assert "25 queries" in report
+
+
+class TestMain:
+    def test_writes_file(self, tmp_path, monkeypatch):
+        # patch the scale registry to use the tiny grid
+        import repro.experiments.run_all as run_all_module
+        monkeypatch.setattr(
+            run_all_module, "DEFAULT_CONFIG", TINY)
+        out = tmp_path / "report.md"
+        assert main(["default", str(out)]) == 0
+        assert out.exists()
+        assert "### fig4" in out.read_text()
+
+    def test_unknown_scale_rejected(self, tmp_path, capsys):
+        assert main(["giant", str(tmp_path / "x.md")]) == 2
+        assert "unknown scale" in capsys.readouterr().err

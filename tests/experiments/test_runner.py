@@ -1,0 +1,69 @@
+"""Unit tests for experiment runners."""
+
+import pytest
+
+from repro.dataset.census import CensusDataset
+from repro.experiments.config import SMOKE_CONFIG
+from repro.experiments.runner import (
+    PublicationCache,
+    accuracy_point,
+    census_view,
+    io_point,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CensusDataset(n=SMOKE_CONFIG.population,
+                         seed=SMOKE_CONFIG.data_seed)
+
+
+class TestAccuracyPoint:
+    def test_returns_both_errors(self, dataset):
+        table = census_view(dataset, 3, "Occupation", 2000)
+        point = accuracy_point(table, l=10, qd=3, s=0.05, n_queries=40)
+        assert point.anatomy_error_pct >= 0
+        assert point.generalization_error_pct >= 0
+        assert point.evaluated_queries + point.skipped_queries == 40
+
+    def test_anatomy_wins(self, dataset):
+        table = census_view(dataset, 5, "Occupation", 2000)
+        point = accuracy_point(table, l=10, qd=5, s=0.05, n_queries=60)
+        assert point.anatomy_error_pct < point.generalization_error_pct
+
+    def test_cached_estimators_used(self, dataset):
+        table = census_view(dataset, 3, "Occupation", 2000)
+        cache = PublicationCache(SMOKE_CONFIG)
+        est1 = cache.estimators(table, ("OCC", 3, 2000))
+        est2 = cache.estimators(table, ("OCC", 3, 2000))
+        assert est1 is est2
+        point = accuracy_point(table, l=10, qd=2, s=0.05, n_queries=20,
+                               estimators=est1)
+        assert point.evaluated_queries > 0
+
+
+class TestIOPoint:
+    def test_both_costs_positive(self, dataset):
+        table = census_view(dataset, 3, "Occupation", 1500)
+        point = io_point(table, l=10)
+        assert point.anatomy_io > 0
+        assert point.generalization_io > 0
+
+    def test_anatomy_cheaper(self, dataset):
+        table = census_view(dataset, 5, "Occupation", 2500)
+        point = io_point(table, l=10)
+        assert point.anatomy_io < point.generalization_io
+
+
+class TestCensusView:
+    def test_full_view_when_n_none(self, dataset):
+        table = census_view(dataset, 3, "Occupation", None)
+        assert len(table) == dataset.n
+
+    def test_sampled_view(self, dataset):
+        table = census_view(dataset, 3, "Occupation", 500)
+        assert len(table) == 500
+
+    def test_oversized_request_returns_full(self, dataset):
+        table = census_view(dataset, 3, "Occupation", dataset.n * 2)
+        assert len(table) == dataset.n

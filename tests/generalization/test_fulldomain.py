@@ -1,0 +1,136 @@
+"""Unit tests for full-domain (single-dimension) generalization."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+from repro.dataset.taxonomy import FreeTaxonomy, Taxonomy
+from repro.exceptions import EligibilityError, SchemaError
+from repro.generalization.fulldomain import (
+    default_hierarchies,
+    full_domain_generalize,
+)
+
+
+def make_table(n=200, seed=0, sens_size=8):
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [Attribute("X", range(16), kind=AttributeKind.NUMERIC),
+         Attribute("Y", range(8), kind=AttributeKind.NUMERIC)],
+        Attribute("S", range(sens_size)),
+    )
+    return Table(schema, {
+        "X": rng.integers(0, 16, n).astype(np.int32),
+        "Y": rng.integers(0, 8, n).astype(np.int32),
+        "S": np.resize(np.arange(sens_size), n).astype(np.int32),
+    })
+
+
+class TestDefaultHierarchies:
+    def test_covers_all_qi(self):
+        table = make_table()
+        hierarchies = default_hierarchies(table)
+        assert set(hierarchies) == {"X", "Y"}
+        assert hierarchies["X"].size == 16
+        assert hierarchies["X"].fanout == 2
+
+    def test_height_resolves_leaves(self):
+        table = make_table()
+        for tax in default_hierarchies(table).values():
+            assert 2 ** tax.height >= tax.size
+
+
+class TestFullDomain:
+    def test_result_is_l_diverse(self):
+        result = full_domain_generalize(make_table(), l=4)
+        assert result.table.is_l_diverse(4)
+        assert result.partition.is_l_diverse(4)
+
+    def test_partition_covers_table(self):
+        table = make_table()
+        result = full_domain_generalize(table, l=4)
+        rows = np.sort(np.concatenate(
+            [g.indices for g in result.partition]))
+        assert np.array_equal(rows, np.arange(len(table)))
+
+    def test_single_dimension_encoding_property(self):
+        """Section 2: generalized forms of two groups on the same
+        attribute are either disjoint or identical."""
+        result = full_domain_generalize(make_table(), l=4)
+        for k in range(2):
+            intervals = {g.intervals[k] for g in result.table}
+            for a in intervals:
+                for b in intervals:
+                    assert a == b or a[1] < b[0] or b[1] < a[0]
+
+    def test_levels_recorded(self):
+        result = full_domain_generalize(make_table(), l=4)
+        assert set(result.levels) == {"X", "Y"}
+        for name, level in result.levels.items():
+            assert level >= 0
+        assert result.steps >= 1
+
+    def test_uniform_data_needs_little_generalization(self):
+        """With many balanced sensitive values and few tuples per cell,
+        heavy coarsening is required; with l=1 none is."""
+        table = make_table()
+        result = full_domain_generalize(table, l=1)
+        hierarchies = default_hierarchies(table)
+        assert result.levels["X"] == hierarchies["X"].height
+        assert result.levels["Y"] == hierarchies["Y"].height
+
+    def test_ineligible_rejected(self):
+        table = make_table(sens_size=2)
+        with pytest.raises(EligibilityError):
+            full_domain_generalize(table, l=3)
+
+    def test_free_taxonomy_rejected(self):
+        table = make_table()
+        with pytest.raises(SchemaError, match="free taxonomy"):
+            full_domain_generalize(table, l=2, hierarchies={
+                "X": FreeTaxonomy(16),
+                "Y": Taxonomy(8, height=3),
+            })
+
+    def test_size_mismatch_rejected(self):
+        table = make_table()
+        with pytest.raises(SchemaError, match="covers"):
+            full_domain_generalize(table, l=2, hierarchies={
+                "X": Taxonomy(99, height=3),
+                "Y": Taxonomy(8, height=3),
+            })
+
+    def test_missing_hierarchy_rejected(self):
+        table = make_table()
+        with pytest.raises(SchemaError, match="no hierarchy"):
+            full_domain_generalize(table, l=2, hierarchies={
+                "X": Taxonomy(16, height=4),
+            })
+
+    def test_worst_case_collapses_to_root(self):
+        """When only the all-root assignment is l-diverse, the search
+        must find it: one group covering everything."""
+        rng = np.random.default_rng(1)
+        schema = Schema(
+            [Attribute("X", range(4), kind=AttributeKind.NUMERIC)],
+            Attribute("S", range(4)),
+        )
+        # sensitive value perfectly correlated with X: any X split
+        # isolates a value
+        x = np.resize(np.arange(4), 40).astype(np.int32)
+        table = Table(schema, {"X": x, "S": x.copy()})
+        _ = rng
+        result = full_domain_generalize(table, l=4)
+        assert result.table.m == 1
+        assert result.levels["X"] == 0
+
+
+class TestVersusMondrian:
+    def test_fulldomain_coarser_than_mondrian(self, occ3):
+        """Single-dimension encoding cannot beat multidimensional
+        recoding on group count (Section 2's constraint ordering)."""
+        from repro.generalization.mondrian import mondrian_partition
+        fd = full_domain_generalize(occ3, l=10)
+        mond = mondrian_partition(occ3, l=10)
+        assert fd.table.m <= mond.m

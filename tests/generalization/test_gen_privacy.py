@@ -1,0 +1,117 @@
+"""Unit tests for the adversary against generalized tables
+(Section 3.3's comparison)."""
+
+import pytest
+
+from repro.core.partition import Partition
+from repro.core.privacy import AnatomyAdversary
+from repro.core.tables import AnatomizedTables
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.exceptions import ReproError, SchemaError
+from repro.generalization.generalized_table import GeneralizedTable
+from repro.generalization.privacy import (
+    GeneralizationAdversary,
+    verify_generalization_guarantee,
+)
+
+
+@pytest.fixture()
+def paper_generalized(hospital):
+    return GeneralizedTable.from_partition(
+        Partition(hospital, PAPER_PARTITION_GROUPS))
+
+
+@pytest.fixture()
+def adversary(paper_generalized):
+    return GeneralizationAdversary(paper_generalized)
+
+
+@pytest.fixture()
+def registry(adversary):
+    """The paper's Table 5 voter list (Emily italicized = absent from
+    the microdata)."""
+    people = [(61, "F", 54000), (65, "F", 25000), (65, "F", 25000),
+              (67, "F", 33000), (70, "F", 30000)]
+    return [adversary.encode_qi(p) for p in people]
+
+
+class TestPosterior:
+    def test_bob_posterior_under_generalization(self, adversary,
+                                                hospital):
+        """Bob's QI values fall in group 1's box: 50/50 pneumonia vs
+        dyspepsia, same as anatomy (Section 1)."""
+        bob = adversary.encode_qi((23, "M", 11000))
+        disease = hospital.schema.sensitive
+        posterior = {disease.decode(c): p
+                     for c, p in adversary.posterior(bob).items()}
+        assert posterior == {"dyspepsia": 0.5, "pneumonia": 0.5}
+
+    def test_alice_breach_probability(self, adversary, hospital):
+        alice = adversary.encode_qi((65, "F", 25000))
+        flu = hospital.schema.sensitive.encode("flu")
+        assert adversary.breach_probability(alice, flu) \
+            == pytest.approx(0.5)
+
+    def test_outside_all_boxes_raises(self, adversary):
+        ghost = adversary.encode_qi((23, "F", 25000))
+        with pytest.raises(ReproError, match="no generalized group"):
+            adversary.posterior(ghost)
+
+    def test_wrong_arity(self, adversary):
+        with pytest.raises(SchemaError):
+            adversary.matching_groups((1, 2))
+
+
+class TestMembership:
+    def test_emily_not_ruled_out(self, adversary):
+        """Unlike anatomy, generalization cannot exclude Emily — her QI
+        values fall inside group 2's box."""
+        emily = adversary.encode_qi((67, "F", 33000))
+        assert adversary.is_plausibly_present(emily)
+
+    def test_alice_membership_is_four_fifths(self, adversary, registry):
+        """The paper's computation: 4 published tuples in the matching
+        box, 5 registry candidates inside it -> Pr_A2 = 4/5."""
+        alice = adversary.encode_qi((65, "F", 25000))
+        assert adversary.membership_probability(registry, alice) \
+            == pytest.approx(0.8)
+
+    def test_overall_breach_weaker_than_anatomy(
+            self, adversary, registry, hospital):
+        """Formula 3: generalization's overall breach for Alice is
+        (4/5) * 50% = 40%, below anatomy's 1 * 50% = 50% — the
+        advantage Section 3.3 concedes to generalization."""
+        alice = adversary.encode_qi((65, "F", 25000))
+        flu = hospital.schema.sensitive.encode("flu")
+        gen_overall = adversary.overall_breach_probability(
+            registry, alice, flu)
+        assert gen_overall == pytest.approx(0.4)
+
+        anat = AnatomyAdversary(AnatomizedTables.from_partition(
+            Partition(hospital, PAPER_PARTITION_GROUPS)))
+        anat_overall = anat.overall_breach_probability(
+            registry, alice, flu)
+        assert anat_overall == pytest.approx(0.5)
+        assert gen_overall < anat_overall
+
+    def test_both_bounded_by_1_over_l(self, adversary, registry,
+                                      hospital):
+        """Either way the breach probability never exceeds 1/l = 0.5."""
+        alice = adversary.encode_qi((65, "F", 25000))
+        flu = hospital.schema.sensitive.encode("flu")
+        assert adversary.overall_breach_probability(
+            registry, alice, flu) <= 0.5
+
+    def test_unknown_target_rejected(self, adversary, registry):
+        ghost = adversary.encode_qi((23, "M", 11000))
+        with pytest.raises(ReproError, match="registry"):
+            adversary.membership_probability(registry, ghost)
+
+
+class TestGuarantee:
+    def test_paper_table_guarantee(self, paper_generalized):
+        assert verify_generalization_guarantee(paper_generalized, 2)
+        assert not verify_generalization_guarantee(paper_generalized, 3)
+
+    def test_census_guarantee(self, occ3_generalized):
+        assert verify_generalization_guarantee(occ3_generalized, 10)

@@ -1,0 +1,114 @@
+"""Unit tests for generalized tables (Definition 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Partition
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.exceptions import PartitionError, SchemaError
+from repro.generalization.generalized_table import (
+    GeneralizedGroup,
+    GeneralizedTable,
+)
+
+
+@pytest.fixture()
+def paper_generalized(hospital):
+    """The generalized rendering of the paper's partition
+    (equivalent to Table 2)."""
+    partition = Partition(hospital, PAPER_PARTITION_GROUPS)
+    return GeneralizedTable.from_partition(partition)
+
+
+class TestGeneralizedGroup:
+    def test_interval_lengths_and_volume(self):
+        g = GeneralizedGroup(1, [(0, 4), (2, 2)], np.array([0, 1]))
+        assert g.interval_lengths() == (5, 1)
+        assert g.box_volume() == 5
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(PartitionError):
+            GeneralizedGroup(1, [(3, 1)], np.array([0]))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(PartitionError):
+            GeneralizedGroup(1, [(0, 1)], np.array([], dtype=np.int32))
+
+    def test_histogram_and_max_count(self):
+        g = GeneralizedGroup(1, [(0, 4)], np.array([0, 0, 1, 2]))
+        assert g.sensitive_histogram() == {0: 2, 1: 1, 2: 1}
+        assert g.max_sensitive_count() == 2
+
+    def test_contains_qi(self):
+        g = GeneralizedGroup(1, [(0, 4), (2, 3)], np.array([0]))
+        assert g.contains_qi((4, 2))
+        assert not g.contains_qi((5, 2))
+        assert not g.contains_qi((0, 1))
+
+    def test_overlap_fraction_full(self):
+        g = GeneralizedGroup(1, [(0, 9)], np.array([0]))
+        assert g.overlap_fraction([(0, 9)]) == pytest.approx(1.0)
+
+    def test_overlap_fraction_partial(self):
+        """The paper's Section 1.1 example geometry: query covering 5%
+        of the box."""
+        g = GeneralizedGroup(1, [(0, 39), (0, 49)], np.array([0]))
+        # x: 10/40 = 0.25, y: 10/50 = 0.2 -> 5%
+        assert g.overlap_fraction([(0, 9), (0, 9)]) == pytest.approx(0.05)
+
+    def test_overlap_fraction_disjoint(self):
+        g = GeneralizedGroup(1, [(0, 4)], np.array([0]))
+        assert g.overlap_fraction([(5, 9)]) == 0.0
+
+    def test_overlap_ignores_unconstrained(self):
+        g = GeneralizedGroup(1, [(0, 4), (0, 9)], np.array([0]))
+        assert g.overlap_fraction([None, (0, 4)]) == pytest.approx(0.5)
+
+
+class TestGeneralizedTable:
+    def test_extents_match_paper_table_2(self, paper_generalized,
+                                         hospital):
+        """Group 1's age interval is [23, 59] (the extent of tuples
+        1-4; the paper rounds to [21, 60]) and zipcodes span
+        [11000, 59000]."""
+        age = hospital.schema.attribute("Age")
+        zipcode = hospital.schema.attribute("Zipcode")
+        g1 = paper_generalized[0]
+        lo, hi = g1.intervals[0]
+        assert (age.decode(lo), age.decode(hi)) == (23, 59)
+        lo, hi = g1.intervals[2]
+        assert (zipcode.decode(lo), zipcode.decode(hi)) == (11000, 59000)
+
+    def test_is_2_diverse(self, paper_generalized):
+        assert paper_generalized.is_l_diverse(2)
+        assert not paper_generalized.is_l_diverse(3)
+
+    def test_diversity(self, paper_generalized):
+        assert paper_generalized.diversity() == pytest.approx(2.0)
+
+    def test_n_and_m(self, paper_generalized):
+        assert paper_generalized.n == 8
+        assert paper_generalized.m == 2
+
+    def test_box_volumes_per_tuple(self, paper_generalized):
+        volumes = paper_generalized.box_volumes_per_tuple()
+        assert len(volumes) == 8
+        assert volumes[0] == paper_generalized[0].box_volume()
+
+    def test_decode_group(self, paper_generalized):
+        decoded = paper_generalized.decode_group(0)
+        assert decoded[0] == (23, 59)  # Age interval
+        assert decoded[1] == ("M", "M")  # Sex fixed
+
+    def test_group_id_ordering_enforced(self, hospital):
+        g = GeneralizedGroup(2, [(0, 1)] * 3, np.array([0]))
+        with pytest.raises(PartitionError):
+            GeneralizedTable(hospital.schema, [g])
+
+    def test_interval_arity_enforced(self, hospital):
+        g = GeneralizedGroup(1, [(0, 1)], np.array([0]))
+        with pytest.raises(SchemaError):
+            GeneralizedTable(hospital.schema, [g])
+
+    def test_iteration(self, paper_generalized):
+        assert [g.group_id for g in paper_generalized] == [1, 2]

@@ -1,0 +1,126 @@
+"""Unit tests for generalization information-loss metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.anatomize import anatomize_partition
+from repro.core.partition import Partition
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.exceptions import ReproError
+from repro.generalization.generalized_table import (
+    GeneralizedGroup,
+    GeneralizedTable,
+)
+from repro.generalization.metrics import (
+    average_group_volume,
+    discernibility,
+    normalized_certainty_penalty,
+    qi_box_coverage,
+    sensitive_kl_divergence,
+)
+from repro.generalization.mondrian import mondrian_with_partition
+
+
+@pytest.fixture()
+def paper_partition(hospital):
+    return Partition(hospital, PAPER_PARTITION_GROUPS)
+
+
+@pytest.fixture()
+def paper_generalized(paper_partition):
+    return GeneralizedTable.from_partition(paper_partition)
+
+
+class TestDiscernibility:
+    def test_paper_partition(self, paper_partition, paper_generalized):
+        # two groups of 4 -> 16 + 16
+        assert discernibility(paper_partition) == 32
+        assert discernibility(paper_generalized) == 32
+
+    def test_finer_partitions_score_lower(self, occ3):
+        coarse = Partition(occ3, [range(len(occ3))])
+        fine = anatomize_partition(occ3, l=10, seed=0)
+        assert discernibility(fine) < discernibility(coarse)
+
+
+class TestNCP:
+    def test_exact_values_have_zero_penalty(self, hospital):
+        groups = [GeneralizedGroup(i + 1, [(c, c) for c in (0, 0, 0)],
+                                   np.array([i % 5]))
+                  for i in range(3)]
+        gt = GeneralizedTable(hospital.schema, groups)
+        assert normalized_certainty_penalty(gt) == 0.0
+
+    def test_full_generalization_has_penalty_one(self, hospital):
+        schema = hospital.schema
+        full = [(0, a.size - 1) for a in schema.qi_attributes]
+        gt = GeneralizedTable(schema, [
+            GeneralizedGroup(1, full, np.array([0, 1, 2, 3]))])
+        assert normalized_certainty_penalty(gt) == pytest.approx(1.0)
+
+    def test_paper_example_in_between(self, paper_generalized):
+        ncp = normalized_certainty_penalty(paper_generalized)
+        assert 0.0 < ncp < 1.0
+
+
+class TestVolumes:
+    def test_average_group_volume(self, hospital):
+        gt = GeneralizedTable(hospital.schema, [
+            GeneralizedGroup(1, [(0, 1), (0, 0), (0, 0)],
+                             np.array([0, 1])),
+            GeneralizedGroup(2, [(0, 3), (0, 1), (0, 0)],
+                             np.array([2, 3])),
+        ])
+        assert average_group_volume(gt) == pytest.approx((2 * 2 + 8 * 2)
+                                                         / 4)
+
+    def test_qi_box_coverage_bounds(self, paper_generalized):
+        coverage = qi_box_coverage(paper_generalized)
+        assert 0.0 < coverage <= 1.0
+
+    def test_certainty_penalty_grows_with_dimensionality(self, census):
+        """The curse of dimensionality: the average per-dimension
+        interval width (NCP) of Mondrian groups grows with d — each
+        extra attribute forces coarser intervals everywhere."""
+        from repro.generalization.recoding import census_recoder
+        ncp = {}
+        for d in (3, 7):
+            table = census.occ(d)
+            gt, _ = mondrian_with_partition(table, l=10,
+                                            recoder=census_recoder())
+            ncp[d] = normalized_certainty_penalty(gt)
+        assert ncp[7] > ncp[3]
+
+    def test_qi_box_coverage_in_unit_range(self, census):
+        from repro.generalization.recoding import census_recoder
+        table = census.occ(3)
+        gt, _ = mondrian_with_partition(table, l=10,
+                                        recoder=census_recoder())
+        assert 0.0 < qi_box_coverage(gt) <= 1.0
+
+
+class TestKLDivergence:
+    def test_mutual_information_non_negative(self, occ3):
+        partition = anatomize_partition(occ3, l=10, seed=0)
+        assert sensitive_kl_divergence(occ3, partition) >= 0.0
+
+    def test_single_group_retains_nothing(self, occ3):
+        partition = Partition(occ3, [range(len(occ3))])
+        assert sensitive_kl_divergence(occ3, partition) \
+            == pytest.approx(0.0, abs=1e-9)
+
+    def test_pure_groups_retain_most(self, hospital):
+        """Grouping by disease itself retains maximal association."""
+        sens = hospital.sensitive_column
+        groups = [np.flatnonzero(sens == c) for c in np.unique(sens)]
+        partition = Partition(hospital, groups)
+        mi_pure = sensitive_kl_divergence(hospital, partition)
+        mi_mixed = sensitive_kl_divergence(
+            hospital, Partition(hospital, PAPER_PARTITION_GROUPS))
+        assert mi_pure > mi_mixed
+
+    def test_empty_microdata_rejected(self, tiny_schema):
+        from repro.dataset.table import Table
+        empty = Table.from_rows(tiny_schema, [])
+        with pytest.raises(ReproError):
+            sensitive_kl_divergence(empty, Partition(empty, []))

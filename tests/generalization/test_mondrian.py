@@ -1,0 +1,185 @@
+"""Unit tests for the Mondrian l-diverse generalization algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.diversity import FrequencyLDiversity
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+from repro.exceptions import EligibilityError
+from repro.generalization.mondrian import (
+    MondrianConfig,
+    MondrianStats,
+    choose_split,
+    mondrian,
+    mondrian_partition,
+    mondrian_with_partition,
+)
+from repro.generalization.recoding import TaxonomyRecoder, census_recoder
+from repro.dataset.taxonomy import Taxonomy
+
+
+def make_table(n=400, seed=0, sens_size=8):
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [Attribute("X", range(64), kind=AttributeKind.NUMERIC),
+         Attribute("Y", range(32), kind=AttributeKind.NUMERIC)],
+        Attribute("S", range(sens_size)),
+    )
+    return Table(schema, {
+        "X": rng.integers(0, 64, n).astype(np.int32),
+        "Y": rng.integers(0, 32, n).astype(np.int32),
+        "S": np.resize(np.arange(sens_size), n).astype(np.int32),
+    })
+
+
+class TestPartitioning:
+    def test_result_is_l_diverse(self):
+        partition = mondrian_partition(make_table(), l=4)
+        assert partition.is_l_diverse(4)
+
+    def test_partition_covers_table(self):
+        table = make_table()
+        partition = mondrian_partition(table, l=4)
+        rows = np.sort(np.concatenate([g.indices for g in partition]))
+        assert np.array_equal(rows, np.arange(len(table)))
+
+    def test_groups_at_least_l(self):
+        partition = mondrian_partition(make_table(), l=4)
+        assert all(g.size >= 4 for g in partition)
+
+    def test_splits_happen(self):
+        """On 400 spread-out tuples Mondrian must produce many groups,
+        not one giant leaf."""
+        partition = mondrian_partition(make_table(), l=4)
+        assert partition.m > 10
+
+    def test_ineligible_input_rejected(self):
+        table = make_table(sens_size=2)  # 200 copies of each value
+        with pytest.raises(EligibilityError):
+            mondrian_partition(table, l=3)
+
+    def test_deterministic(self):
+        p1 = mondrian_partition(make_table(), l=4)
+        p2 = mondrian_partition(make_table(), l=4)
+        assert p1.m == p2.m
+        for g1, g2 in zip(p1, p2):
+            assert np.array_equal(g1.indices, g2.indices)
+
+    def test_stats_populated(self):
+        stats = MondrianStats()
+        mondrian_partition(make_table(), l=4, stats=stats)
+        assert stats.leaves > 0
+        assert stats.nodes == stats.splits + stats.leaves
+        assert stats.tuples_scanned > 0
+        assert sum(stats.level_sizes) == stats.nodes
+
+    def test_strict_median_coarser_or_equal(self):
+        table = make_table()
+        relaxed = mondrian_partition(table, l=4)
+        strict = mondrian_partition(
+            table, l=4, config=MondrianConfig(strict_median=True))
+        assert strict.m <= relaxed.m
+
+    def test_finer_for_smaller_l(self):
+        table = make_table()
+        p2 = mondrian_partition(table, l=2)
+        p8 = mondrian_partition(table, l=8)
+        assert p2.m >= p8.m
+
+
+class TestChooseSplit:
+    def test_unsplittable_node_returns_none(self):
+        """A node where any cut breaks diversity must become a leaf."""
+        table = make_table(n=8, sens_size=8)
+        schema = table.schema
+        mask = choose_split(table.qi_matrix(), table.sensitive_column,
+                            schema, l=8, recoder=census_recoder_free(),
+                            config=MondrianConfig())
+        assert mask is None
+
+    def test_single_point_node_returns_none(self):
+        schema = make_table().schema
+        qi = np.zeros((20, 2), dtype=np.int32)
+        sens = np.resize(np.arange(4), 20).astype(np.int32)
+        mask = choose_split(qi, sens, schema, l=2,
+                            recoder=census_recoder_free(),
+                            config=MondrianConfig())
+        assert mask is None
+
+    def test_split_prefers_widest_dimension(self):
+        """With X spanning the full domain and Y constant, the cut falls
+        on X."""
+        schema = make_table().schema
+        rng = np.random.default_rng(1)
+        qi = np.column_stack([
+            rng.integers(0, 64, 100),
+            np.full(100, 5),
+        ]).astype(np.int32)
+        sens = np.resize(np.arange(4), 100).astype(np.int32)
+        mask = choose_split(qi, sens, schema, l=2,
+                            recoder=census_recoder_free(),
+                            config=MondrianConfig())
+        assert mask is not None
+        left_max = qi[mask][:, 0].max()
+        right_min = qi[~mask][:, 0].min()
+        assert left_max < right_min  # clean cut on X
+
+    def test_median_balance(self):
+        schema = make_table().schema
+        qi = np.column_stack([
+            np.arange(100) % 64,
+            np.zeros(100),
+        ]).astype(np.int32)
+        sens = np.resize(np.arange(10), 100).astype(np.int32)
+        mask = choose_split(qi, sens, schema, l=2,
+                            recoder=census_recoder_free(),
+                            config=MondrianConfig())
+        assert mask is not None
+        assert 20 <= mask.sum() <= 80  # near-median, not degenerate
+
+
+def census_recoder_free():
+    """A free recoder matching the test schema (no taxonomy
+    constraints)."""
+    from repro.generalization.recoding import Recoder
+    return Recoder()
+
+
+class TestTaxonomyConstrainedMondrian:
+    def test_cuts_respect_taxonomy(self):
+        """With a height-1 fanout-2 taxonomy on X, the only X cut is the
+        midpoint; every published X interval must be a taxonomy node."""
+        table = make_table(n=200, seed=2)
+        tax = Taxonomy(size=64, height=1, fanout=2)
+        recoder = TaxonomyRecoder({"X": tax})
+        gt = mondrian(table, l=4, recoder=recoder)
+        allowed = {(0, 31), (32, 63), (0, 63)}
+        for group in gt:
+            assert group.intervals[0] in allowed
+
+    def test_published_intervals_cover_extents(self):
+        table = make_table(n=300, seed=3)
+        tax = Taxonomy(size=64, height=3)
+        recoder = TaxonomyRecoder({"X": tax})
+        gt, partition = mondrian_with_partition(table, l=4,
+                                                recoder=recoder)
+        for g_pub, g_raw in zip(gt, partition):
+            extents = g_raw.qi_extent()
+            for (plo, phi), (rlo, rhi) in zip(g_pub.intervals, extents):
+                assert plo <= rlo and phi >= rhi
+
+
+class TestEndToEnd:
+    def test_generalized_table_is_l_diverse(self):
+        gt = mondrian(make_table(), l=4)
+        assert gt.is_l_diverse(4)
+
+    def test_matches_frequency_requirement(self):
+        _, partition = mondrian_with_partition(make_table(), l=4)
+        assert FrequencyLDiversity(4).partition_ok(partition)
+
+    def test_hospital_example(self, hospital):
+        gt = mondrian(hospital, l=2)
+        assert gt.is_l_diverse(2)
+        assert gt.n == 8

@@ -1,0 +1,94 @@
+"""Unit tests for recoders (free interval vs taxonomy snapping)."""
+
+import pytest
+
+from repro.dataset.census import QI_ATTRIBUTE_NAMES, census_schema
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.taxonomy import Taxonomy
+from repro.exceptions import SchemaError
+from repro.generalization.recoding import (
+    Recoder,
+    TaxonomyRecoder,
+    census_recoder,
+)
+
+
+@pytest.fixture()
+def schema():
+    return Schema(
+        [Attribute("X", range(16), kind=AttributeKind.NUMERIC),
+         Attribute("Y", range(8))],
+        Attribute("S", range(4)),
+    )
+
+
+class TestFreeRecoder:
+    def test_recode_is_identity(self, schema):
+        recoder = Recoder()
+        assert recoder.recode(schema, [(2, 5), (1, 3)]) == [(2, 5),
+                                                            (1, 3)]
+
+    def test_all_cuts_allowed(self, schema):
+        recoder = Recoder()
+        assert recoder.allowed_cuts(schema, 0, 3, 7) == [3, 4, 5, 6]
+
+
+class TestTaxonomyRecoder:
+    def test_snaps_to_node(self, schema):
+        tax = Taxonomy(size=8, height=3)  # fanout 2
+        recoder = TaxonomyRecoder({"Y": tax})
+        out = recoder.recode(schema, [(2, 5), (1, 2)])
+        assert out[0] == (2, 5)          # X is free
+        lo, hi = out[1]                  # Y snapped to a node covering 1-2
+        assert lo <= 1 and hi >= 2
+        assert (hi - lo + 1) in (2, 4, 8)
+
+    def test_allowed_cuts_restricted(self, schema):
+        tax = Taxonomy(size=8, height=1, fanout=2)
+        recoder = TaxonomyRecoder({"Y": tax})
+        assert recoder.allowed_cuts(schema, 1, 0, 7) == [3]
+        # X unconstrained
+        assert recoder.allowed_cuts(schema, 0, 0, 3) == [0, 1, 2]
+
+    def test_size_mismatch_detected(self, schema):
+        recoder = TaxonomyRecoder({"Y": Taxonomy(size=99, height=2)})
+        with pytest.raises(SchemaError, match="covers"):
+            recoder.recode(schema, [(0, 1), (0, 1)])
+
+
+class TestCensusRecoder:
+    def test_covers_all_qi_attributes(self):
+        recoder = census_recoder()
+        assert set(recoder.taxonomies) == set(QI_ATTRIBUTE_NAMES)
+
+    def test_age_is_free(self):
+        recoder = census_recoder()
+        schema = census_schema(3, "Occupation")
+        # any cut allowed on Age (index 0)
+        cuts = recoder.allowed_cuts(schema, 0, 10, 14)
+        assert cuts == [10, 11, 12, 13]
+
+    def test_workclass_recode_snaps_to_taxonomy_node(self):
+        """The binding taxonomy constraint is on *published* intervals:
+        a raw extent must widen to the smallest covering tree node."""
+        recoder = census_recoder()
+        schema = census_schema(7, "Occupation")
+        extents = [(0, 0)] * schema.d
+        idx = schema.qi_index("Work-class")
+        # Work-class: size 10, height 4, fanout 2 -> level widths
+        # 10, 5, 3, 2, 1.  Extent [1, 2] crosses the level-4 boundary
+        # at 1|2 and the level-3 boundary at 1|2, so it must widen.
+        extents[idx] = (1, 2)
+        out = recoder.recode(schema, extents)
+        lo, hi = out[idx]
+        assert lo <= 1 and hi >= 2
+        assert (lo, hi) != (1, 2)  # snapped wider than the raw extent
+
+    def test_marital_recode_can_reach_root(self):
+        recoder = census_recoder()
+        schema = census_schema(7, "Occupation")
+        extents = [(0, 0)] * schema.d
+        idx = schema.qi_index("Marital")
+        extents[idx] = (0, 5)  # full domain
+        out = recoder.recode(schema, extents)
+        assert out[idx] == (0, 5)

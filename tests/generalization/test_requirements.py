@@ -1,0 +1,131 @@
+"""Tests for requirement-parameterized Mondrian and the KAnonymity
+requirement (the paper's Section 1 k-anonymity-vs-l-diversity
+argument, made executable)."""
+
+import numpy as np
+import pytest
+
+from repro.core.diversity import (
+    EntropyLDiversity,
+    FrequencyLDiversity,
+    KAnonymity,
+    RecursiveCLDiversity,
+)
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+from repro.exceptions import EligibilityError, ReproError
+from repro.generalization.mondrian import mondrian_partition
+
+
+def make_table(n=500, seed=0, sens_size=10):
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [Attribute("X", range(64), kind=AttributeKind.NUMERIC),
+         Attribute("Y", range(32), kind=AttributeKind.NUMERIC)],
+        Attribute("S", range(sens_size)),
+    )
+    return Table(schema, {
+        "X": rng.integers(0, 64, n).astype(np.int32),
+        "Y": rng.integers(0, 32, n).astype(np.int32),
+        "S": np.resize(np.arange(sens_size), n).astype(np.int32),
+    })
+
+
+class TestKAnonymity:
+    def test_counts_ok(self):
+        req = KAnonymity(4)
+        assert req.counts_ok(np.array([4]))
+        assert req.counts_ok(np.array([2, 2]))
+        assert not req.counts_ok(np.array([3]))
+
+    def test_invalid_k(self):
+        with pytest.raises(ReproError):
+            KAnonymity(0)
+
+    def test_describe(self):
+        assert KAnonymity(7).describe() == "7-anonymity"
+
+    def test_k_anonymity_ignores_sensitive_skew(self):
+        """The failure mode the paper opens with: a group of k identical
+        sensitive values is k-anonymous but utterly non-diverse."""
+        req = KAnonymity(4)
+        skewed = np.array([4, 0, 0])
+        assert req.counts_ok(skewed)
+        assert not FrequencyLDiversity(2).counts_ok(skewed)
+
+
+class TestCountsOkConsistency:
+    """counts_ok must agree with group_ok for every requirement."""
+
+    @pytest.mark.parametrize("requirement", [
+        KAnonymity(3),
+        FrequencyLDiversity(3),
+        EntropyLDiversity(2.5),
+        RecursiveCLDiversity(1.5, 2),
+    ])
+    def test_agreement_on_random_groups(self, requirement):
+        from repro.core.partition import QIGroup
+        rng = np.random.default_rng(7)
+        table = make_table(n=400, seed=7, sens_size=6)
+        for _ in range(25):
+            size = int(rng.integers(1, 40))
+            rows = rng.choice(len(table), size=size, replace=False)
+            group = QIGroup(table, rows, 1)
+            counts = np.bincount(table.sensitive_column[rows],
+                                 minlength=6)
+            assert requirement.group_ok(group) \
+                == requirement.counts_ok(counts)
+
+
+class TestRequirementMondrian:
+    def test_k_anonymous_mondrian(self):
+        table = make_table()
+        partition = mondrian_partition(table, 10,
+                                       requirement=KAnonymity(10))
+        assert partition.k_anonymity() >= 10
+        assert KAnonymity(10).partition_ok(partition)
+
+    def test_k_anonymous_finer_than_l_diverse(self):
+        """k-anonymity is weaker, so Mondrian can split further."""
+        table = make_table()
+        k_part = mondrian_partition(table, 10,
+                                    requirement=KAnonymity(10))
+        l_part = mondrian_partition(table, 10)
+        assert k_part.m >= l_part.m
+
+    def test_k_anonymous_partition_may_lack_diversity(self):
+        """The paper's motivating observation, measured: a k-anonymous
+        partition's diversity can be far below k."""
+        table = make_table(seed=3)
+        partition = mondrian_partition(table, 10,
+                                       requirement=KAnonymity(10))
+        assert partition.diversity() < 10
+
+    def test_entropy_requirement(self):
+        table = make_table()
+        req = EntropyLDiversity(4)
+        partition = mondrian_partition(table, 4, requirement=req)
+        assert req.partition_ok(partition)
+
+    def test_recursive_requirement(self):
+        table = make_table()
+        req = RecursiveCLDiversity(2.0, 3)
+        partition = mondrian_partition(table, 3, requirement=req)
+        assert req.partition_ok(partition)
+
+    def test_infeasible_requirement_rejected(self):
+        table = make_table(sens_size=2)
+        with pytest.raises(EligibilityError):
+            mondrian_partition(table, 2,
+                               requirement=FrequencyLDiversity(5))
+
+    def test_requirement_equivalence_with_default(self):
+        """Passing FrequencyLDiversity(l) explicitly reproduces the
+        default split condition exactly."""
+        table = make_table(seed=5)
+        default = mondrian_partition(table, 5)
+        explicit = mondrian_partition(
+            table, 5, requirement=FrequencyLDiversity(5))
+        assert default.m == explicit.m
+        for g1, g2 in zip(default, explicit):
+            assert np.array_equal(g1.indices, g2.indices)

@@ -1,0 +1,178 @@
+"""Failure injection: corrupted publications and hostile inputs.
+
+A production privacy library must fail loudly, not silently publish a
+weaker guarantee.  These tests corrupt intermediate structures and
+verify every layer detects the damage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.core.partition import Partition
+from repro.core.tables import (
+    AnatomizedTables,
+    QuasiIdentifierTable,
+    SensitiveTable,
+)
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.exceptions import (
+    PartitionError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+
+
+def make_table(n=40, sens_size=8, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema([Attribute("A", range(20))],
+                    Attribute("S", range(sens_size)))
+    return Table(schema, {
+        "A": rng.integers(0, 20, n).astype(np.int32),
+        "S": np.resize(np.arange(sens_size), n).astype(np.int32),
+    })
+
+
+class TestCorruptedPartitions:
+    def test_duplicated_row_detected(self):
+        table = make_table()
+        groups = [list(range(0, 20)), list(range(19, 40))]  # row 19 twice
+        with pytest.raises(PartitionError):
+            Partition(table, groups)
+
+    def test_dropped_row_detected(self):
+        table = make_table()
+        groups = [list(range(0, 20)), list(range(21, 40))]  # row 20 lost
+        with pytest.raises(PartitionError):
+            Partition(table, groups)
+
+    def test_foreign_row_detected(self):
+        table = make_table()
+        groups = [list(range(0, 20)), list(range(20, 39)) + [99]]
+        with pytest.raises(PartitionError):
+            Partition(table, groups)
+
+
+class TestCorruptedPublications:
+    def test_tampered_st_counts_change_bound(self):
+        """If an attacker (or bug) inflates one ST count, the measured
+        breach bound moves — verification must not rely on the claimed
+        l."""
+        table = make_table()
+        published = anatomize(table, l=4, seed=0)
+        st = published.st
+        counts = st.counts.copy()
+        counts.setflags(write=True)
+        counts[0] += 6
+        tampered = SensitiveTable(published.schema,
+                                  st.group_ids.copy(),
+                                  st.sensitive_codes.copy(),
+                                  counts)
+        bad = AnatomizedTables(published.schema, published.qit, tampered)
+        assert bad.breach_probability_bound() \
+            > published.breach_probability_bound()
+
+    def test_zero_count_record_rejected(self):
+        table = make_table()
+        with pytest.raises(SchemaError, match="positive"):
+            SensitiveTable(table.schema,
+                           np.array([1, 1]), np.array([0, 1]),
+                           np.array([3, 0]))
+
+    def test_qit_st_schema_mismatch_rejected(self):
+        table = make_table()
+        published = anatomize(table, l=4, seed=0)
+        other_schema = Schema([Attribute("A", range(20))],
+                              Attribute("S2", range(8)))
+        other_st = SensitiveTable(other_schema,
+                                  np.array([1]), np.array([0]),
+                                  np.array([1]))
+        with pytest.raises(SchemaError, match="mismatch"):
+            AnatomizedTables(published.schema, published.qit, other_st)
+
+    def test_qit_wrong_width_rejected(self):
+        table = make_table()
+        with pytest.raises(SchemaError):
+            QuasiIdentifierTable(table.schema,
+                                 np.zeros((5, 3), dtype=np.int32),
+                                 np.ones(5, dtype=np.int32))
+
+
+class TestHostileQueries:
+    def test_unknown_group_lookup(self):
+        table = make_table()
+        published = anatomize(table, l=4, seed=0)
+        with pytest.raises(PartitionError):
+            published.st.group_distribution(10_000)
+
+    def test_pdf_with_foreign_sensitive_value(self):
+        from repro.core.pdf import anatomy_error
+        with pytest.raises(ReproError):
+            anatomy_error({0: 2, 1: 2}, true_sensitive=7)
+
+
+class TestStorageMisuse:
+    def test_scan_before_close(self):
+        from repro.storage.buffer import BufferManager, Disk
+        from repro.storage.heapfile import HeapFile
+        hf = HeapFile(BufferManager(Disk(), frames=2), field_count=1)
+        hf.append((1,))
+        with pytest.raises(StorageError):
+            list(hf.scan())
+
+    def test_record_too_wide_for_page(self):
+        from repro.storage.page import Page
+        with pytest.raises(StorageError):
+            Page(field_count=2000, page_size=64)
+
+    def test_reading_freed_pages_fails(self):
+        from repro.storage.buffer import BufferManager, Disk
+        from repro.storage.heapfile import heapfile_from_records
+        disk = Disk()
+        buffer = BufferManager(disk, frames=2)
+        hf = heapfile_from_records(buffer, [(1,), (2,)], field_count=1,
+                                   page_size=16)
+        buffer.flush()
+        page_ids = list(hf.page_ids)
+        hf.free()
+        with pytest.raises(StorageError):
+            disk.read(page_ids[0])
+
+
+class TestAdversarialDatasets:
+    def test_all_identical_sensitive_values(self):
+        """Only l=1 is feasible; everything above must be rejected."""
+        from repro.exceptions import EligibilityError
+        schema = Schema([Attribute("A", range(5))],
+                        Attribute("S", range(5)))
+        table = Table(schema, {
+            "A": np.arange(5, dtype=np.int32) % 5,
+            "S": np.zeros(5, dtype=np.int32)})
+        published = anatomize(table, l=1, seed=0)
+        assert published.breach_probability_bound() == 1.0
+        with pytest.raises(EligibilityError):
+            anatomize(table, l=2)
+
+    def test_single_tuple_table(self):
+        schema = Schema([Attribute("A", range(2))],
+                        Attribute("S", range(2)))
+        table = Table(schema, {"A": np.array([0], dtype=np.int32),
+                               "S": np.array([1], dtype=np.int32)})
+        published = anatomize(table, l=1, seed=0)
+        assert published.n == 1
+        assert published.st.group_count() == 1
+
+    def test_every_tuple_unique_sensitive(self):
+        """Maximal diversity: any l up to n works and groups are
+        perfectly balanced."""
+        schema = Schema([Attribute("A", range(12))],
+                        Attribute("S", range(12)))
+        table = Table(schema, {
+            "A": np.arange(12, dtype=np.int32),
+            "S": np.arange(12, dtype=np.int32)})
+        published = anatomize(table, l=12, seed=0)
+        assert published.st.group_count() == 1
+        assert published.breach_probability_bound() \
+            == pytest.approx(1 / 12)

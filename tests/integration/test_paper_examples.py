@@ -1,0 +1,113 @@
+"""Integration tests replaying the paper's worked examples end-to-end
+(Tables 1-5 and the Section 1 query A walkthrough)."""
+
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.core.partition import Partition
+from repro.core.privacy import AnatomyAdversary
+from repro.core.rce import anatomize_rce_formula, anatomy_rce
+from repro.core.tables import AnatomizedTables
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.generalization.generalized_table import GeneralizedTable
+from repro.generalization.privacy import GeneralizationAdversary
+from repro.query.estimators import (
+    AnatomyEstimator,
+    ExactEvaluator,
+    GeneralizationEstimator,
+)
+from repro.query.predicates import CountQuery
+
+
+@pytest.fixture()
+def paper_partition(hospital):
+    return Partition(hospital, PAPER_PARTITION_GROUPS)
+
+
+class TestSection1Walkthrough:
+    """Section 1.1/1.2: query A against Table 2 vs Tables 3a/3b."""
+
+    def _query_a(self, schema):
+        age = schema.attribute("Age")
+        zipcode = schema.attribute("Zipcode")
+        return CountQuery(
+            schema,
+            {"Age": [c for c, v in enumerate(age.values) if v <= 30],
+             "Zipcode": [c for c, v in enumerate(zipcode.values)
+                         if 10001 <= v <= 20000]},
+            [schema.sensitive.encode("pneumonia")])
+
+    def test_three_way_comparison(self, hospital, paper_partition):
+        """actual = 1; anatomy = 1 (exact); generalization ~ 0.1 (10x
+        under)."""
+        query = self._query_a(hospital.schema)
+        actual = ExactEvaluator(hospital).estimate(query)
+        assert actual == 1.0
+
+        anatomy = AnatomizedTables.from_partition(paper_partition)
+        ana_est = AnatomyEstimator(anatomy).estimate(query)
+        assert ana_est == pytest.approx(1.0)
+
+        generalized = GeneralizedTable.from_partition(paper_partition)
+        gen_est = GeneralizationEstimator(generalized).estimate(query)
+        assert gen_est < 0.35  # several-fold underestimate
+        assert abs(ana_est - actual) < abs(gen_est - actual)
+
+
+class TestEndToEndAnatomizeOnHospital:
+    def test_l2_publication(self, hospital):
+        published = anatomize(hospital, l=2, seed=0)
+        # privacy: no tuple inferable above 50%
+        assert published.breach_probability_bound() <= 0.5
+        # structure: 4 groups of 2 (n=8, l=2)
+        assert published.st.group_count() == 4
+        # RCE achieves the Theorem 4 value n(1-1/l) = 4
+        assert anatomy_rce(published.partition) == pytest.approx(
+            anatomize_rce_formula(8, 2))
+
+    def test_l4_is_max_feasible(self, hospital):
+        published = anatomize(hospital, l=4, seed=0)
+        assert published.breach_probability_bound() <= 0.25
+        assert published.st.group_count() == 2
+
+
+class TestAdversaryComparison:
+    """Section 3.3's three-way scenario analysis on the same microdata."""
+
+    def test_a1_a2_equal_protection(self, hospital, paper_partition):
+        """Under A1+A2 both methods give identical posteriors for
+        Alice."""
+        anatomy = AnatomizedTables.from_partition(paper_partition)
+        generalized = GeneralizedTable.from_partition(paper_partition)
+        ana = AnatomyAdversary(anatomy)
+        gen = GeneralizationAdversary(generalized)
+        alice = ana.encode_qi((65, "F", 25000))
+        assert ana.posterior(alice) == gen.posterior(alice)
+
+    def test_membership_difference(self, hospital, paper_partition):
+        """Without A2: anatomy reveals membership exactly; wide
+        generalized boxes dilute it."""
+        anatomy = AnatomizedTables.from_partition(paper_partition)
+        ana = AnatomyAdversary(anatomy)
+        emily = ana.encode_qi((67, "F", 33000))
+        assert not ana.is_present(emily)
+
+        # Table 2's wide boxes cannot rule Emily out.
+        age = hospital.schema.attribute("Age")
+        sex = hospital.schema.attribute("Sex")
+        zipc = hospital.schema.attribute("Zipcode")
+        from repro.generalization.generalized_table import (
+            GeneralizedGroup)
+        sens = hospital.sensitive_column
+        table2 = GeneralizedTable(hospital.schema, [
+            GeneralizedGroup(1, [(age.encode(21), age.encode(60)),
+                                 (sex.encode("M"), sex.encode("M")),
+                                 (zipc.encode(11000),
+                                  zipc.encode(60000))], sens[:4]),
+            GeneralizedGroup(2, [(age.encode(61), age.encode(70)),
+                                 (sex.encode("F"), sex.encode("F")),
+                                 (zipc.encode(11000),
+                                  zipc.encode(60000))], sens[4:]),
+        ])
+        gen = GeneralizationAdversary(table2)
+        assert gen.is_plausibly_present(emily)

@@ -1,0 +1,116 @@
+"""Unit tests for contingency-table reconstruction."""
+
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.core.partition import Partition
+from repro.core.tables import AnatomizedTables
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.exceptions import QueryError
+from repro.generalization.generalized_table import GeneralizedTable
+from repro.generalization.mondrian import mondrian
+from repro.mining.contingency import (
+    anatomy_contingency,
+    exact_contingency,
+    generalization_contingency,
+    kl_divergence,
+    marginal_error,
+    total_variation,
+)
+
+
+class TestExactContingency:
+    def test_counts_sum_to_n(self, hospital):
+        c = exact_contingency(hospital, "Age")
+        assert c.sum() == len(hospital)
+
+    def test_known_cell(self, hospital):
+        schema = hospital.schema
+        c = exact_contingency(hospital, "Sex")
+        f = schema.attribute("Sex").encode("F")
+        flu = schema.sensitive.encode("flu")
+        assert c[f, flu] == 2  # tuples 5 and 7
+
+    def test_sensitive_attribute_rejected(self, hospital):
+        with pytest.raises(QueryError):
+            exact_contingency(hospital, "Disease")
+
+
+class TestAnatomyContingency:
+    def test_mass_preserved(self, hospital):
+        published = AnatomizedTables.from_partition(
+            Partition(hospital, PAPER_PARTITION_GROUPS))
+        c = anatomy_contingency(published, "Age")
+        assert c.sum() == pytest.approx(len(hospital))
+
+    def test_marginals_exact(self, occ3, occ3_published):
+        """Both marginals of the anatomy reconstruction are exact —
+        the QIT and ST each release one attribute precisely."""
+        for name in occ3.schema.qi_names:
+            true = exact_contingency(occ3, name)
+            est = anatomy_contingency(occ3_published, name)
+            qi_err, sens_err = marginal_error(true, est)
+            assert qi_err < 1e-9
+            assert sens_err < 1e-9
+
+    def test_within_group_smoothing(self, hospital):
+        """Inside group 1, tuple 1's age 23 is associated 50/50 with
+        dyspepsia and pneumonia (Equation 2)."""
+        published = AnatomizedTables.from_partition(
+            Partition(hospital, PAPER_PARTITION_GROUPS))
+        schema = hospital.schema
+        c = anatomy_contingency(published, "Age")
+        a23 = schema.attribute("Age").encode(23)
+        dysp = schema.sensitive.encode("dyspepsia")
+        pneu = schema.sensitive.encode("pneumonia")
+        assert c[a23, dysp] == pytest.approx(0.5)
+        assert c[a23, pneu] == pytest.approx(0.5)
+        flu = schema.sensitive.encode("flu")
+        assert c[a23, flu] == 0.0
+
+    def test_sensitive_attribute_rejected(self, occ3_published):
+        with pytest.raises(QueryError):
+            anatomy_contingency(occ3_published, "Occupation")
+
+
+class TestGeneralizationContingency:
+    def test_mass_preserved(self, hospital):
+        gt = GeneralizedTable.from_partition(
+            Partition(hospital, PAPER_PARTITION_GROUPS))
+        c = generalization_contingency(gt, "Age")
+        assert c.sum() == pytest.approx(len(hospital))
+
+    def test_qi_marginal_smeared(self, occ3, occ3_generalized):
+        """Generalization smears the QI marginal over intervals; the
+        sensitive marginal stays exact (values released per tuple)."""
+        true = exact_contingency(occ3, "Age")
+        est = generalization_contingency(occ3_generalized, "Age")
+        qi_err, sens_err = marginal_error(true, est)
+        assert sens_err < 1e-9
+        assert qi_err > 0.01
+
+
+class TestDistances:
+    def test_identity_distances_zero(self, occ3):
+        c = exact_contingency(occ3, "Age")
+        assert total_variation(c, c) == pytest.approx(0.0)
+        assert kl_divergence(c, c) == pytest.approx(0.0, abs=1e-6)
+
+    def test_anatomy_closer_than_generalization(self, occ3):
+        """The mining-side analogue of the query experiments: anatomy's
+        reconstructed joint is at least as close to the truth."""
+        published = anatomize(occ3, l=10, seed=0)
+        generalized = mondrian(occ3, l=10)
+        for name in ("Age", "Education"):
+            true = exact_contingency(occ3, name)
+            ana = anatomy_contingency(published, name)
+            gen = generalization_contingency(generalized, name)
+            assert total_variation(true, ana) \
+                <= total_variation(true, gen) + 0.02
+            assert kl_divergence(true, ana) \
+                <= kl_divergence(true, gen) + 0.02
+
+    def test_tv_bounds(self, occ3, occ3_published):
+        true = exact_contingency(occ3, "Age")
+        est = anatomy_contingency(occ3_published, "Age")
+        assert 0.0 <= total_variation(true, est) <= 1.0

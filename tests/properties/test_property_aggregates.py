@@ -1,0 +1,91 @@
+"""Property-based tests for SUM / AVG aggregation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anatomize import anatomize
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.query.aggregates import (
+    AnatomyAggregator,
+    ExactAggregator,
+    Measure,
+)
+from repro.query.predicates import CountQuery
+
+D_X, D_S = 10, 5
+
+
+def build_table(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema([Attribute("X", range(D_X))],
+                    Attribute("S", range(D_S)))
+    return Table(schema, {
+        "X": rng.integers(0, D_X, n).astype(np.int32),
+        "S": np.resize(np.arange(D_S), n).astype(np.int32),
+    })
+
+
+TABLE = build_table()
+MEASURE = Measure(TABLE.schema, {c: float(3 * c + 1)
+                                 for c in range(D_S)})
+PUBLISHED = anatomize(TABLE, l=5, seed=0)
+EXACT = ExactAggregator(TABLE, MEASURE)
+ANA = AnatomyAggregator(PUBLISHED, MEASURE)
+
+
+@st.composite
+def query(draw):
+    xs = draw(st.sets(st.integers(0, D_X - 1), min_size=1,
+                      max_size=D_X))
+    ss = draw(st.sets(st.integers(0, D_S - 1), min_size=1,
+                      max_size=D_S))
+    return CountQuery(TABLE.schema, {"X": xs}, ss)
+
+
+@settings(max_examples=120, deadline=None)
+@given(query())
+def test_sum_bounded_by_measure_extremes(q):
+    """For both evaluators: count * min_measure <= sum <=
+    count * max_measure over the qualifying sensitive values."""
+    values = [MEASURE(c) for c in q.sensitive_values]
+    lo, hi = min(values), max(values)
+    for agg in (EXACT, ANA):
+        count = agg.count(q)
+        total = agg.sum(q)
+        assert lo * count - 1e-9 <= total <= hi * count + 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(query())
+def test_avg_is_ratio(q):
+    for agg in (EXACT, ANA):
+        count = agg.count(q)
+        if count == 0:
+            continue
+        assert agg.avg(q) * count == agg.sum(q) or \
+            abs(agg.avg(q) * count - agg.sum(q)) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.sets(st.integers(0, D_S - 1), min_size=1, max_size=D_S))
+def test_unrestricted_sum_exact_for_anatomy(ss):
+    """With no QI restriction the anatomy SUM equals the exact SUM (the
+    ST is a lossless weighted histogram)."""
+    q = CountQuery(TABLE.schema, {"X": range(D_X)}, ss)
+    assert abs(ANA.sum(q) - EXACT.sum(q)) < 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(query())
+def test_sum_additive_over_sensitive_partition(q):
+    """Splitting the sensitive predicate into singletons and summing
+    the parts reproduces the whole (linearity of both estimators)."""
+    for agg in (EXACT, ANA):
+        whole = agg.sum(q)
+        parts = sum(
+            agg.sum(CountQuery(TABLE.schema,
+                               {"X": q.qi_predicates["X"]}, [s]))
+            for s in q.sensitive_values)
+        assert abs(whole - parts) < 1e-6

@@ -1,0 +1,111 @@
+"""Property-based tests for the query layer.
+
+Invariants: estimators are non-negative and bounded by the qualifying
+sensitive mass; whole-domain queries are answered exactly; the anatomy
+estimator is exact whenever every group is entirely inside or outside the
+QI predicate region.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anatomize import anatomize
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.generalization.mondrian import mondrian
+from repro.query.estimators import (
+    AnatomyEstimator,
+    ExactEvaluator,
+    GeneralizationEstimator,
+)
+from repro.query.predicates import CountQuery
+
+D_X, D_Y, D_S = 12, 8, 6
+
+
+def build_table(n, seed):
+    schema = Schema(
+        [Attribute("X", range(D_X)), Attribute("Y", range(D_Y))],
+        Attribute("S", range(D_S)),
+    )
+    rng = np.random.default_rng(seed)
+    return Table(schema, {
+        "X": rng.integers(0, D_X, n).astype(np.int32),
+        "Y": rng.integers(0, D_Y, n).astype(np.int32),
+        "S": np.resize(np.arange(D_S), n).astype(np.int32),
+    })
+
+
+@st.composite
+def query_strategy(draw, schema):
+    x_codes = draw(st.sets(st.integers(0, D_X - 1), min_size=1,
+                           max_size=D_X))
+    y_codes = draw(st.sets(st.integers(0, D_Y - 1), min_size=1,
+                           max_size=D_Y))
+    s_codes = draw(st.sets(st.integers(0, D_S - 1), min_size=1,
+                           max_size=D_S))
+    use_y = draw(st.booleans())
+    predicates = {"X": x_codes}
+    if use_y:
+        predicates["Y"] = y_codes
+    return CountQuery(schema, predicates, s_codes)
+
+
+TABLE = build_table(240, seed=1)
+PUBLISHED = anatomize(TABLE, l=3, seed=0)
+GENERALIZED = mondrian(TABLE, l=3)
+EXACT = ExactEvaluator(TABLE)
+ANA = AnatomyEstimator(PUBLISHED)
+GEN = GeneralizationEstimator(GENERALIZED)
+
+
+@settings(max_examples=120, deadline=None)
+@given(query_strategy(TABLE.schema))
+def test_estimates_bounded_by_sensitive_mass(query):
+    """Any estimate lies in [0, total count of qualifying sensitive
+    values] — the sensitive predicate alone caps it for both methods."""
+    cap = sum(PUBLISHED.st.sensitive_total(c)
+              for c in query.sensitive_values)
+    for estimator in (ANA, GEN):
+        estimate = estimator.estimate(query)
+        assert -1e-9 <= estimate <= cap + 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(query_strategy(TABLE.schema))
+def test_anatomy_never_overestimates_when_qi_unrestricted(query):
+    """Dropping all QI predicates makes both estimators exact."""
+    full_query = CountQuery(TABLE.schema,
+                            {"X": range(D_X), "Y": range(D_Y)},
+                            query.sensitive_values)
+    actual = EXACT.estimate(full_query)
+    assert ANA.estimate(full_query) == actual
+    assert abs(GEN.estimate(full_query) - actual) < 1e-9
+
+
+@settings(max_examples=120, deadline=None)
+@given(query_strategy(TABLE.schema))
+def test_exact_evaluator_matches_bruteforce(query):
+    rows = 0
+    for i in range(len(TABLE)):
+        codes = TABLE.row_codes(i)
+        x, y, s = codes
+        if x not in query.qi_predicates["X"]:
+            continue
+        if "Y" in query.qi_predicates and \
+                y not in query.qi_predicates["Y"]:
+            continue
+        if s in query.sensitive_values:
+            rows += 1
+    assert EXACT.estimate(query) == rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sets(st.integers(0, D_S - 1), min_size=1, max_size=D_S))
+def test_sensitive_marginal_exact_for_anatomy(s_codes):
+    """Anatomy answers pure sensitive-marginal queries exactly (the ST
+    is a lossless histogram)."""
+    query = CountQuery(TABLE.schema,
+                       {"X": range(D_X)}, s_codes)
+    assert ANA.estimate(query) == EXACT.estimate(query)

@@ -1,0 +1,90 @@
+"""Property-based tests for full-domain generalization and
+suppression."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diversity import max_feasible_l
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+from repro.generalization.fulldomain import full_domain_generalize
+from repro.generalization.suppression import suppress
+
+
+def build_table(x_codes, sens_codes):
+    schema = Schema(
+        [Attribute("X", range(16), kind=AttributeKind.NUMERIC),
+         Attribute("Y", range(4), kind=AttributeKind.NUMERIC)],
+        Attribute("S", range(6)),
+    )
+    n = len(sens_codes)
+    xs = np.asarray(x_codes[:n], dtype=np.int32)
+    return Table(schema, {
+        "X": xs % 16,
+        "Y": (xs // 16) % 4,
+        "S": np.asarray(sens_codes, dtype=np.int32),
+    })
+
+
+@st.composite
+def instance(draw):
+    n = draw(st.integers(min_value=4, max_value=80))
+    xs = draw(st.lists(st.integers(0, 63), min_size=n, max_size=n))
+    sens = draw(st.lists(st.integers(0, 5), min_size=n, max_size=n))
+    return xs, sens
+
+
+@settings(max_examples=50, deadline=None)
+@given(instance())
+def test_fulldomain_invariants(params):
+    xs, sens = params
+    table = build_table(xs, sens)
+    feasible = max_feasible_l(table)
+    if feasible < 2:
+        return
+    l = min(int(feasible), 4)
+    result = full_domain_generalize(table, l)
+
+    # l-diverse and covering
+    assert result.table.is_l_diverse(l)
+    rows = np.sort(np.concatenate(
+        [g.indices for g in result.partition]))
+    assert np.array_equal(rows, np.arange(len(table)))
+
+    # single-dimension encoding: same-attribute intervals disjoint or
+    # identical
+    for k in range(2):
+        intervals = {g.intervals[k] for g in result.table}
+        ordered = sorted(intervals)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a == b or a[1] < b[0]
+
+    # recorded levels are within the hierarchies
+    for level in result.levels.values():
+        assert level >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(instance())
+def test_suppression_invariants(params):
+    xs, sens = params
+    table = build_table(xs, sens)
+    feasible = max_feasible_l(table)
+    if feasible < 2:
+        return
+    l = min(int(feasible), 3)
+    result = suppress(table, l)
+
+    assert result.table.is_l_diverse(l)
+    rows = np.sort(np.concatenate(
+        [g.indices for g in result.partition]))
+    assert np.array_equal(rows, np.arange(len(table)))
+    assert result.suppressed + result.published_exact == len(table)
+    assert 0.0 <= result.suppressed_fraction <= 1.0
+
+    # every non-suppressed group publishes exact (degenerate) intervals
+    suppressed_groups = 1 if result.suppressed else 0
+    for group in list(result.table)[:result.table.m - suppressed_groups]:
+        for lo, hi in group.intervals:
+            assert lo == hi

@@ -1,0 +1,64 @@
+"""Property-based tests for Mondrian over random eligible microdata."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diversity import max_feasible_l
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+from repro.generalization.mondrian import (
+    MondrianConfig,
+    mondrian_with_partition,
+)
+
+
+def build_table(xy_codes, sens_codes):
+    schema = Schema(
+        [Attribute("X", range(32), kind=AttributeKind.NUMERIC),
+         Attribute("Y", range(16), kind=AttributeKind.NUMERIC)],
+        Attribute("S", range(8)),
+    )
+    n = len(sens_codes)
+    xy = np.asarray(xy_codes[:n], dtype=np.int32)
+    return Table(schema, {
+        "X": xy % 32,
+        "Y": (xy // 32) % 16,
+        "S": np.asarray(sens_codes, dtype=np.int32),
+    })
+
+
+@st.composite
+def instance(draw):
+    n = draw(st.integers(min_value=6, max_value=150))
+    xy = draw(st.lists(st.integers(0, 511), min_size=n, max_size=n))
+    sens = draw(st.lists(st.integers(0, 7), min_size=n, max_size=n))
+    strict = draw(st.booleans())
+    return xy, sens, strict
+
+
+@settings(max_examples=60, deadline=None)
+@given(instance())
+def test_mondrian_invariants(params):
+    xy, sens, strict = params
+    table = build_table(xy, sens)
+    feasible = max_feasible_l(table)
+    if feasible < 2:
+        return  # nothing to assert: no l >= 2 partition exists
+    l = min(int(feasible), 4)
+    config = MondrianConfig(strict_median=strict)
+    gt, partition = mondrian_with_partition(table, l, config=config)
+
+    # cover + disjoint
+    rows = np.sort(np.concatenate([g.indices for g in partition]))
+    assert np.array_equal(rows, np.arange(len(table)))
+    # l-diversity of the published table
+    assert gt.is_l_diverse(l)
+    # group sizes at least l
+    assert all(g.size >= l for g in partition)
+    # published boxes cover their tuples
+    qi = table.qi_matrix()
+    for pub, raw in zip(gt, partition):
+        sub = qi[raw.indices]
+        for k, (lo, hi) in enumerate(pub.intervals):
+            assert lo <= sub[:, k].min() and hi >= sub[:, k].max()

@@ -1,0 +1,120 @@
+"""Property-based tests for pdf reconstruction and Err_t."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pdf import (
+    anatomy_error,
+    anatomy_pdf,
+    generalization_error,
+    true_pdf,
+)
+
+
+@st.composite
+def histogram(draw):
+    size = draw(st.integers(min_value=1, max_value=12))
+    counts = draw(st.lists(st.integers(min_value=1, max_value=20),
+                           min_size=size, max_size=size))
+    return {code: count for code, count in enumerate(counts)}
+
+
+@settings(max_examples=150, deadline=None)
+@given(histogram(), st.data())
+def test_anatomy_pdf_is_a_distribution(hist, data):
+    pdf = anatomy_pdf((1, 2), hist)
+    total = sum(pdf.masses.values())
+    assert total == pytest.approx(1.0)
+    assert all(m > 0 for m in pdf.masses.values())
+    assert len(pdf.masses) == len(hist)
+
+
+@settings(max_examples=150, deadline=None)
+@given(histogram(), st.data())
+def test_anatomy_error_in_unit_range(hist, data):
+    true = data.draw(st.sampled_from(sorted(hist)))
+    err = anatomy_error(hist, true)
+    # Err_t = (1-p)^2 + sum q^2 <= (1-p)^2 + (1-p)^2 <= 2, and >= 0;
+    # in fact < 2 strictly and >= 0 with equality iff p = 1.
+    assert 0.0 <= err < 2.0
+    size = sum(hist.values())
+    if hist[true] == size:
+        assert err == pytest.approx(0.0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(histogram(), st.data())
+def test_closed_form_matches_sparse(hist, data):
+    true = data.draw(st.sampled_from(sorted(hist)))
+    pdf = anatomy_pdf((0,), hist)
+    direct = pdf.l2_error_from_point_mass((0, true))
+    assert anatomy_error(hist, true) == pytest.approx(direct)
+
+
+@settings(max_examples=150, deadline=None)
+@given(histogram())
+def test_group_error_bounded_below_by_theorem_2(hist):
+    """Average Err_t over a group is at least 1 - 1/l_effective where
+    l_effective = size / max_count (the proof of Theorem 2)."""
+    size = sum(hist.values())
+    l_eff = size / max(hist.values())
+    avg = sum(count * anatomy_error(hist, code)
+              for code, count in hist.items()) / size
+    assert avg >= (1 - 1 / l_eff) - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=10**9))
+def test_generalization_error_monotone_in_volume(volume):
+    err = generalization_error(volume)
+    assert 0.0 <= err < 1.0
+    if volume > 1:
+        assert err > generalization_error(volume - 1) or \
+            err == pytest.approx(generalization_error(volume - 1))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.tuples(st.integers(0, 50), st.integers(0, 50)))
+def test_true_pdf_zero_self_error(point):
+    assert true_pdf(point).l2_error_from_point_mass(point) == 0.0
+
+
+@settings(max_examples=150, deadline=None)
+@given(histogram())
+def test_group_average_error_identity(hist):
+    """A clean closed form hiding in the Theorem 2 algebra: the
+    group-average anatomy error equals ``1 - sum_h p_h^2`` (one minus
+    the collision probability of the group's sensitive distribution).
+
+    Two consequences verified here: the average is always strictly
+    below 1 — i.e. below the wide-box limit of generalization's
+    ``1 - 1/V`` — and, when the group is frequency-l-diverse, it is at
+    least ``1 - 1/l`` (Theorem 2's bound), since
+    ``sum p^2 <= max_p <= 1/l``.
+    """
+    size = sum(hist.values())
+    probs = [c / size for c in hist.values()]
+    avg = sum(c * anatomy_error(hist, v)
+              for v, c in hist.items()) / size
+    assert avg == pytest.approx(1.0 - sum(p * p for p in probs))
+    assert avg < 1.0
+    l_eff = size / max(hist.values())
+    assert avg >= (1 - 1 / l_eff) - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(1, 30), min_size=2, max_size=10),
+       st.integers(10, 10**7))
+def test_group_average_beats_wide_generalization(counts, extra_volume):
+    """Once the generalized box volume exceeds ``1 / (sum p^2)``, the
+    group-average anatomy error is below generalization's per-tuple
+    error — the quantitative form of Section 4's comparison."""
+    size = sum(counts)
+    hist = {i: c for i, c in enumerate(counts)}
+    probs = [c / size for c in counts]
+    collision = sum(p * p for p in probs)
+    avg_ana = sum(c * anatomy_error(hist, v)
+                  for v, c in hist.items()) / size
+    threshold_volume = int(1 / collision) + 1 + extra_volume
+    assert avg_ana < generalization_error(threshold_volume) + 1e-9

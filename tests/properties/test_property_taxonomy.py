@@ -1,0 +1,75 @@
+"""Property-based tests for taxonomy trees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.taxonomy import FreeTaxonomy, Taxonomy
+
+
+@st.composite
+def taxonomy_strategy(draw):
+    size = draw(st.integers(min_value=1, max_value=128))
+    height = draw(st.integers(min_value=0, max_value=6))
+    return Taxonomy(size=size, height=height)
+
+
+@settings(max_examples=150, deadline=None)
+@given(taxonomy_strategy(), st.data())
+def test_interval_contains_code(tax, data):
+    code = data.draw(st.integers(0, tax.size - 1))
+    level = data.draw(st.integers(0, tax.height))
+    lo, hi = tax.interval(code, level)
+    assert 0 <= lo <= code <= hi < tax.size
+
+
+@settings(max_examples=150, deadline=None)
+@given(taxonomy_strategy(), st.data())
+def test_levels_nest(tax, data):
+    code = data.draw(st.integers(0, tax.size - 1))
+    prev_lo, prev_hi = tax.interval(code, tax.height)
+    for level in range(tax.height - 1, -1, -1):
+        lo, hi = tax.interval(code, level)
+        assert lo <= prev_lo and hi >= prev_hi
+        prev_lo, prev_hi = lo, hi
+
+
+@settings(max_examples=150, deadline=None)
+@given(taxonomy_strategy(), st.data())
+def test_same_level_intervals_disjoint_or_equal(tax, data):
+    level = data.draw(st.integers(0, tax.height))
+    a = data.draw(st.integers(0, tax.size - 1))
+    b = data.draw(st.integers(0, tax.size - 1))
+    ia = tax.interval(a, level)
+    ib = tax.interval(b, level)
+    # either identical or non-overlapping (single-dimension encoding
+    # property from Section 2)
+    assert ia == ib or ia[1] < ib[0] or ib[1] < ia[0]
+
+
+@settings(max_examples=150, deadline=None)
+@given(taxonomy_strategy(), st.data())
+def test_generalize_interval_covers_and_is_node(tax, data):
+    lo = data.draw(st.integers(0, tax.size - 1))
+    hi = data.draw(st.integers(lo, tax.size - 1))
+    level, node_lo, node_hi = tax.generalize_interval(lo, hi)
+    assert node_lo <= lo and node_hi >= hi
+    # the returned interval is exactly the level's node containing lo
+    assert (node_lo, node_hi) == tax.interval(lo, level)
+
+
+@settings(max_examples=150, deadline=None)
+@given(taxonomy_strategy(), st.data())
+def test_allowed_cuts_strictly_inside(tax, data):
+    lo = data.draw(st.integers(0, tax.size - 1))
+    hi = data.draw(st.integers(lo, tax.size - 1))
+    for cut in tax.allowed_cuts(lo, hi):
+        assert lo <= cut < hi
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=2, max_value=128), st.data())
+def test_free_taxonomy_allows_every_cut(size, data):
+    free = FreeTaxonomy(size)
+    lo = data.draw(st.integers(0, size - 1))
+    hi = data.draw(st.integers(lo, size - 1))
+    assert free.allowed_cuts(lo, hi) == list(range(lo, hi))

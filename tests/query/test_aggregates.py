@@ -1,0 +1,157 @@
+"""Unit tests for SUM / AVG aggregate estimation."""
+
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.core.partition import Partition
+from repro.core.tables import AnatomizedTables
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.exceptions import QueryError
+from repro.generalization.generalized_table import GeneralizedTable
+from repro.generalization.mondrian import mondrian
+from repro.query.aggregates import (
+    AnatomyAggregator,
+    ExactAggregator,
+    GeneralizationAggregator,
+    Measure,
+)
+from repro.query.predicates import CountQuery
+from repro.query.workload import make_workload
+
+
+@pytest.fixture()
+def cost_measure(hospital):
+    """A per-disease 'treatment cost' measure."""
+    costs = {"bronchitis": 100.0, "dyspepsia": 200.0, "flu": 50.0,
+             "gastritis": 150.0, "pneumonia": 400.0}
+    return Measure(hospital.schema,
+                   lambda disease: costs[disease])
+
+
+@pytest.fixture()
+def paper_anatomy(hospital):
+    return AnatomizedTables.from_partition(
+        Partition(hospital, PAPER_PARTITION_GROUPS))
+
+
+def all_qi_query(schema, sensitive_codes=None):
+    age = schema.attribute("Age")
+    sens = (range(schema.sensitive.size) if sensitive_codes is None
+            else sensitive_codes)
+    return CountQuery(schema, {"Age": range(age.size)}, sens)
+
+
+class TestMeasure:
+    def test_callable_construction(self, hospital, cost_measure):
+        flu = hospital.schema.sensitive.encode("flu")
+        assert cost_measure(flu) == 50.0
+
+    def test_mapping_construction(self, hospital):
+        m = Measure(hospital.schema, {0: 7.5})
+        assert m(0) == 7.5
+        assert m(1) == 0.0
+
+    def test_out_of_domain_code_rejected(self, hospital):
+        with pytest.raises(QueryError):
+            Measure(hospital.schema, {99: 1.0})
+
+
+class TestExactAggregator:
+    def test_sum_all(self, hospital, cost_measure):
+        agg = ExactAggregator(hospital, cost_measure)
+        q = all_qi_query(hospital.schema)
+        # 2 pneumonia(400) + 2 dyspepsia(200) + 2 flu(50) +
+        # gastritis(150) + bronchitis(100)
+        assert agg.sum(q) == pytest.approx(2 * 400 + 2 * 200 + 2 * 50
+                                           + 150 + 100)
+
+    def test_avg(self, hospital, cost_measure):
+        agg = ExactAggregator(hospital, cost_measure)
+        q = all_qi_query(hospital.schema)
+        assert agg.avg(q) == pytest.approx(agg.sum(q) / 8)
+
+    def test_avg_empty_raises(self, hospital, cost_measure):
+        agg = ExactAggregator(hospital, cost_measure)
+        age = hospital.schema.attribute("Age")
+        q = CountQuery(hospital.schema, {"Age": [age.encode(20)]},
+                       [0])
+        with pytest.raises(QueryError, match="AVG undefined"):
+            agg.avg(q)
+
+
+class TestAnatomyAggregator:
+    def test_unrestricted_sum_exact(self, hospital, cost_measure,
+                                    paper_anatomy):
+        """With no effective QI restriction, anatomy's SUM is exact
+        (the ST is a lossless histogram)."""
+        exact = ExactAggregator(hospital, cost_measure)
+        ana = AnatomyAggregator(paper_anatomy, cost_measure)
+        q = all_qi_query(hospital.schema)
+        assert ana.sum(q) == pytest.approx(exact.sum(q))
+        assert ana.avg(q) == pytest.approx(exact.avg(q))
+
+    def test_restricted_sum_reasonable(self, hospital, cost_measure,
+                                       paper_anatomy):
+        """Query A's region: anatomy estimates SUM over pneumonia
+        tuples with age <= 30 as p * group mass = 0.5 * 800 = 400 —
+        the true value (tuple 1's 400)."""
+        schema = hospital.schema
+        age = schema.attribute("Age")
+        q = CountQuery(
+            schema,
+            {"Age": [c for c, v in enumerate(age.values) if v <= 30]},
+            [schema.sensitive.encode("pneumonia")])
+        ana = AnatomyAggregator(paper_anatomy, cost_measure)
+        # group 1 contains tuples 1-4; exactly 2 of them have age<=30
+        assert ana.sum(q) == pytest.approx(0.5 * 2 * 400)
+
+    def test_count_matches_estimator(self, hospital, cost_measure,
+                                     paper_anatomy):
+        from repro.query.estimators import AnatomyEstimator
+        ana = AnatomyAggregator(paper_anatomy, cost_measure)
+        est = AnatomyEstimator(paper_anatomy)
+        q = all_qi_query(hospital.schema, [0, 2])
+        assert ana.count(q) == est.estimate(q)
+
+
+class TestGeneralizationAggregator:
+    def test_unrestricted_sum_exact(self, hospital, cost_measure):
+        gt = GeneralizedTable.from_partition(
+            Partition(hospital, PAPER_PARTITION_GROUPS))
+        exact = ExactAggregator(hospital, cost_measure)
+        gen = GeneralizationAggregator(gt, cost_measure)
+        q = all_qi_query(hospital.schema)
+        assert gen.sum(q) == pytest.approx(exact.sum(q))
+
+    def test_anatomy_beats_generalization_on_workload(self, occ3):
+        """SUM estimation follows the COUNT story: anatomy wins."""
+        measure = Measure(occ3.schema,
+                          {c: float(c + 1)
+                           for c in range(occ3.schema.sensitive.size)})
+        published = anatomize(occ3, l=10, seed=0)
+        generalized = mondrian(occ3, l=10)
+        exact = ExactAggregator(occ3, measure)
+        ana = AnatomyAggregator(published, measure)
+        gen = GeneralizationAggregator(generalized, measure)
+        workload = make_workload(occ3.schema, 3, 0.05, 50, seed=4)
+        ana_err = gen_err = 0.0
+        evaluated = 0
+        for q in workload:
+            actual = exact.sum(q)
+            if actual == 0:
+                continue
+            ana_err += abs(actual - ana.sum(q)) / actual
+            gen_err += abs(actual - gen.sum(q)) / actual
+            evaluated += 1
+        assert evaluated > 10
+        assert ana_err < gen_err
+
+    def test_avg_zero_count_raises(self, hospital, cost_measure):
+        gt = GeneralizedTable.from_partition(
+            Partition(hospital, PAPER_PARTITION_GROUPS))
+        gen = GeneralizationAggregator(gt, cost_measure)
+        schema = hospital.schema
+        age = schema.attribute("Age")
+        q = CountQuery(schema, {"Age": [age.encode(20)]}, [0])
+        with pytest.raises(QueryError):
+            gen.avg(q)

@@ -1,0 +1,187 @@
+"""Unit tests for the exact evaluator and the two estimators.
+
+The key correctness anchors come straight from the paper's Section 1
+worked example: query A (pneumonia, Age <= 30, Zipcode in [10001, 20000])
+has actual result 1; the generalized table estimates 0.1; the anatomized
+tables estimate exactly 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Partition
+from repro.core.tables import AnatomizedTables
+from repro.dataset.hospital import PAPER_PARTITION_GROUPS
+from repro.generalization.generalized_table import (
+    GeneralizedGroup,
+    GeneralizedTable,
+)
+from repro.query.estimators import (
+    AnatomyEstimator,
+    ExactEvaluator,
+    GeneralizationEstimator,
+)
+from repro.query.predicates import CountQuery
+from repro.query.workload import make_workload
+
+
+def query_a(schema):
+    """The paper's query A, translated to disjunctive-IN form over the
+    discrete domains: Age <= 30, Zipcode in [10001, 20000],
+    Disease = pneumonia."""
+    age = schema.attribute("Age")
+    zipcode = schema.attribute("Zipcode")
+    ages = [c for c, v in enumerate(age.values) if v <= 30]
+    zips = [c for c, v in enumerate(zipcode.values)
+            if 10001 <= v <= 20000]
+    return CountQuery(schema, {"Age": ages, "Zipcode": zips},
+                      [schema.sensitive.encode("pneumonia")])
+
+
+@pytest.fixture()
+def paper_partition(hospital):
+    return Partition(hospital, PAPER_PARTITION_GROUPS)
+
+
+@pytest.fixture()
+def paper_anatomy(paper_partition):
+    return AnatomizedTables.from_partition(paper_partition)
+
+
+@pytest.fixture()
+def paper_table2(hospital):
+    """The paper's Table 2 with its exact published intervals:
+    Age [21, 60] / [61, 70], Zipcode [10001, 60000] for both groups."""
+    age = hospital.schema.attribute("Age")
+    zipcode = hospital.schema.attribute("Zipcode")
+    sex = hospital.schema.attribute("Sex")
+    sens = hospital.sensitive_column
+
+    def iv(attr, lo_v, hi_v):
+        return (attr.encode(lo_v), attr.encode(hi_v))
+
+    g1 = GeneralizedGroup(
+        1, [iv(age, 21, 60), (sex.encode("M"), sex.encode("M")),
+            iv(zipcode, 11000, 60000)],
+        sens[:4])
+    g2 = GeneralizedGroup(
+        2, [iv(age, 61, 70), (sex.encode("F"), sex.encode("F")),
+            iv(zipcode, 11000, 60000)],
+        sens[4:])
+    return GeneralizedTable(hospital.schema, [g1, g2])
+
+
+class TestExactEvaluator:
+    def test_query_a_actual_result_is_1(self, hospital):
+        """Only tuple 1 (Bob, age 23, zip 11000, pneumonia)
+        qualifies."""
+        exact = ExactEvaluator(hospital)
+        assert exact.estimate(query_a(hospital.schema)) == 1.0
+
+    def test_sensitive_only_queries(self, hospital):
+        schema = hospital.schema
+        flu = schema.sensitive.encode("flu")
+        q = CountQuery(schema, {"Sex": [0, 1]}, [flu])
+        assert ExactEvaluator(hospital).estimate(q) == 2.0
+
+    def test_no_match(self, hospital):
+        schema = hospital.schema
+        q = CountQuery(schema,
+                       {"Age": [schema.attribute("Age").encode(20)]},
+                       [0])
+        assert ExactEvaluator(hospital).estimate(q) == 0.0
+
+
+class TestAnatomyEstimator:
+    def test_query_a_exact_answer(self, hospital, paper_anatomy):
+        """Section 1.2: the anatomy estimate for query A equals the
+        actual result 1 (p = 50%, 2 pneumonia tuples in group 1)."""
+        est = AnatomyEstimator(paper_anatomy)
+        assert est.estimate(query_a(hospital.schema)) \
+            == pytest.approx(1.0)
+
+    def test_whole_domain_query_is_exact(self, hospital, paper_anatomy):
+        """A query accepting everything returns n exactly."""
+        schema = hospital.schema
+        q = CountQuery(
+            schema,
+            {"Age": range(schema.attribute("Age").size)},
+            range(schema.sensitive.size))
+        assert AnatomyEstimator(paper_anatomy).estimate(q) \
+            == pytest.approx(8.0)
+
+    def test_sensitive_marginals_exact(self, hospital, paper_anatomy):
+        """Queries on the sensitive attribute alone are answered
+        exactly from the ST."""
+        schema = hospital.schema
+        exact = ExactEvaluator(hospital)
+        est = AnatomyEstimator(paper_anatomy)
+        for value in schema.sensitive.values:
+            q = CountQuery(schema,
+                           {"Sex": [0, 1]},
+                           [schema.sensitive.encode(value)])
+            assert est.estimate(q) == pytest.approx(exact.estimate(q))
+
+    def test_unbiasedness_over_random_partitions(self, occ3):
+        """Averaged over Anatomize's randomness, the anatomy estimate
+        approximates the truth (the grouping is independent of QI
+        values)."""
+        from repro.core.anatomize import anatomize
+        schema = occ3.schema
+        q = make_workload(schema, 2, 0.05, 1, seed=9)[0]
+        exact = ExactEvaluator(occ3).estimate(q)
+        estimates = []
+        for seed in range(8):
+            pub = anatomize(occ3, l=10, seed=seed)
+            estimates.append(AnatomyEstimator(pub).estimate(q))
+        mean = np.mean(estimates)
+        assert exact > 0
+        assert abs(mean - exact) / exact < 0.35
+
+
+class TestGeneralizationEstimator:
+    def test_query_a_underestimates_tenfold(self, hospital,
+                                            paper_table2):
+        """Section 1.1: the uniform assumption yields 0.1 for query A —
+        ten times below the actual result 1."""
+        est = GeneralizationEstimator(paper_table2)
+        estimate = est.estimate(query_a(hospital.schema))
+        assert estimate == pytest.approx(0.1, rel=0.35)
+        assert estimate < 0.2  # an order of magnitude off
+
+    def test_whole_domain_query_is_exact(self, hospital, paper_table2):
+        schema = hospital.schema
+        q = CountQuery(
+            schema,
+            {"Age": range(schema.attribute("Age").size)},
+            range(schema.sensitive.size))
+        assert GeneralizationEstimator(paper_table2).estimate(q) \
+            == pytest.approx(8.0)
+
+    def test_disjoint_group_contributes_zero(self, hospital,
+                                             paper_table2):
+        """Group 2 (ages 61-70) is disjoint from query A's age range and
+        must contribute nothing (the R2-disjoint observation)."""
+        schema = hospital.schema
+        flu = schema.sensitive.encode("flu")  # flu only in group 2
+        age = schema.attribute("Age")
+        young = [c for c, v in enumerate(age.values) if v <= 30]
+        q = CountQuery(schema, {"Age": young}, [flu])
+        assert GeneralizationEstimator(paper_table2).estimate(q) == 0.0
+
+    def test_anatomy_beats_generalization_on_workload(
+            self, occ3, occ3_published, occ3_generalized):
+        exact = ExactEvaluator(occ3)
+        ana = AnatomyEstimator(occ3_published)
+        gen = GeneralizationEstimator(occ3_generalized)
+        wl = make_workload(occ3.schema, 3, 0.05, 60, seed=3)
+        ana_err, gen_err, count = 0.0, 0.0, 0
+        for q in wl:
+            act = exact.estimate(q)
+            if act == 0:
+                continue
+            ana_err += abs(act - ana.estimate(q)) / act
+            gen_err += abs(act - gen.estimate(q)) / act
+            count += 1
+        assert count > 10
+        assert ana_err < gen_err

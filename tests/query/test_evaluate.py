@@ -1,0 +1,106 @@
+"""Unit tests for workload evaluation and the error metric."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.evaluate import (
+    WorkloadResult,
+    evaluate_workload,
+    evaluate_workload_many,
+    relative_error,
+)
+from repro.query.estimators import ExactEvaluator
+from repro.query.workload import make_workload
+
+
+class FixedEstimator:
+    """Returns the exact value scaled by a constant factor."""
+
+    def __init__(self, exact, factor):
+        self.exact = exact
+        self.factor = factor
+
+    def estimate(self, query):
+        return self.exact.estimate(query) * self.factor
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(10, 12) == pytest.approx(0.2)
+        assert relative_error(10, 8) == pytest.approx(0.2)
+        assert relative_error(10, 10) == 0.0
+
+    def test_zero_actual_raises(self):
+        with pytest.raises(QueryError):
+            relative_error(0, 5)
+
+
+class TestWorkloadResult:
+    def test_metrics(self):
+        r = WorkloadResult(errors=[0.1, 0.2, 0.3])
+        assert r.average_relative_error() == pytest.approx(0.2)
+        assert r.median_relative_error() == pytest.approx(0.2)
+        assert r.percentile_relative_error(100) == pytest.approx(0.3)
+        assert r.evaluated == 3
+
+    def test_empty_raises(self):
+        r = WorkloadResult()
+        with pytest.raises(QueryError):
+            r.average_relative_error()
+        with pytest.raises(QueryError):
+            r.median_relative_error()
+        with pytest.raises(QueryError):
+            r.percentile_relative_error(50)
+
+
+class TestEvaluateWorkload:
+    def test_perfect_estimator_zero_error(self, occ3):
+        exact = ExactEvaluator(occ3)
+        wl = make_workload(occ3.schema, 2, 0.05, 30, seed=0)
+        result = evaluate_workload(wl, exact, exact)
+        assert result.average_relative_error() == 0.0
+
+    def test_scaled_estimator_constant_error(self, occ3):
+        exact = ExactEvaluator(occ3)
+        wl = make_workload(occ3.schema, 2, 0.05, 30, seed=0)
+        result = evaluate_workload(wl, exact,
+                                   FixedEstimator(exact, 1.25))
+        assert result.average_relative_error() == pytest.approx(0.25)
+
+    def test_zero_actual_skipped(self, occ3):
+        exact = ExactEvaluator(occ3)
+        # very selective queries at s=1% on qd=3 produce some zeros
+        wl = make_workload(occ3.schema, 3, 0.01, 80, seed=1)
+        result = evaluate_workload(wl, exact, exact)
+        assert result.evaluated + result.skipped_zero_actual == 80
+
+    def test_actuals_and_estimates_recorded(self, occ3):
+        exact = ExactEvaluator(occ3)
+        wl = make_workload(occ3.schema, 2, 0.05, 10, seed=0)
+        result = evaluate_workload(wl, exact,
+                                   FixedEstimator(exact, 2.0))
+        assert len(result.actuals) == result.evaluated
+        for a, e in zip(result.actuals, result.estimates):
+            assert e == pytest.approx(2 * a)
+
+
+class TestEvaluateMany:
+    def test_consistent_with_single(self, occ3):
+        exact = ExactEvaluator(occ3)
+        wl = make_workload(occ3.schema, 2, 0.05, 20, seed=0)
+        single = evaluate_workload(wl, exact,
+                                   FixedEstimator(exact, 1.5))
+        many = evaluate_workload_many(
+            wl, exact, {"half": FixedEstimator(exact, 0.5),
+                        "x15": FixedEstimator(exact, 1.5)})
+        assert many["x15"].errors == single.errors
+        assert many["half"].average_relative_error() \
+            == pytest.approx(0.5)
+
+    def test_skips_shared(self, occ3):
+        exact = ExactEvaluator(occ3)
+        wl = make_workload(occ3.schema, 3, 0.01, 40, seed=1)
+        many = evaluate_workload_many(
+            wl, exact, {"a": exact, "b": FixedEstimator(exact, 2.0)})
+        assert many["a"].skipped_zero_actual \
+            == many["b"].skipped_zero_actual

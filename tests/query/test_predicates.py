@@ -1,0 +1,76 @@
+"""Unit tests for the COUNT query representation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.predicates import CountQuery
+
+
+class TestConstruction:
+    def test_qd(self, tiny_schema):
+        q = CountQuery(tiny_schema, {"X": [1, 2]}, [0])
+        assert q.qd == 1
+        q2 = CountQuery(tiny_schema, {"X": [1], "Y": [0, 3]}, [0, 1])
+        assert q2.qd == 2
+
+    def test_sensitive_not_allowed_in_qi(self, tiny_schema):
+        with pytest.raises(QueryError, match="sensitive"):
+            CountQuery(tiny_schema, {"S": [0]}, [0])
+
+    def test_empty_predicates_rejected(self, tiny_schema):
+        with pytest.raises(QueryError, match="empty predicate"):
+            CountQuery(tiny_schema, {"X": []}, [0])
+        with pytest.raises(QueryError, match="empty sensitive"):
+            CountQuery(tiny_schema, {"X": [0]}, [])
+
+    def test_out_of_domain_rejected(self, tiny_schema):
+        with pytest.raises(QueryError, match="out-of-domain"):
+            CountQuery(tiny_schema, {"X": [99]}, [0])
+        with pytest.raises(QueryError, match="out-of-domain"):
+            CountQuery(tiny_schema, {"X": [0]}, [99])
+
+    def test_unknown_attribute_rejected(self, tiny_schema):
+        with pytest.raises(Exception):
+            CountQuery(tiny_schema, {"Nope": [0]}, [0])
+
+    def test_duplicate_codes_collapse(self, tiny_schema):
+        q = CountQuery(tiny_schema, {"X": [1, 1, 2]}, [0, 0])
+        assert q.qi_predicates["X"] == frozenset({1, 2})
+        assert q.sensitive_values == frozenset({0})
+
+
+class TestLookupTable:
+    def test_qi_lookup(self, tiny_schema):
+        q = CountQuery(tiny_schema, {"X": [1, 3]}, [0])
+        lut = q.lookup_table("X")
+        assert lut.dtype == bool
+        assert list(np.flatnonzero(lut)) == [1, 3]
+        assert len(lut) == 10
+
+    def test_sensitive_lookup(self, tiny_schema):
+        q = CountQuery(tiny_schema, {"X": [1]}, [2, 4])
+        lut = q.lookup_table("S")
+        assert list(np.flatnonzero(lut)) == [2, 4]
+
+    def test_unconstrained_attribute_raises(self, tiny_schema):
+        q = CountQuery(tiny_schema, {"X": [1]}, [0])
+        with pytest.raises(QueryError, match="does not constrain"):
+            q.lookup_table("Y")
+
+
+class TestDescribe:
+    def test_mentions_values(self, tiny_schema):
+        q = CountQuery(tiny_schema, {"Y": [0]}, [1])
+        text = q.describe()
+        assert "COUNT(*)" in text
+        assert "Y IN ('a')" in text
+        assert "S IN ('s1')" in text
+
+    def test_truncates_long_lists(self, tiny_schema):
+        q = CountQuery(tiny_schema, {"X": range(8)}, [0])
+        assert "..." in q.describe()
+
+    def test_repr(self, tiny_schema):
+        q = CountQuery(tiny_schema, {"X": [0]}, [0, 1])
+        assert "qd=1" in repr(q)

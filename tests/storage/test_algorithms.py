@@ -1,0 +1,126 @@
+"""Tests for the paged (I/O-metered) Anatomize and Mondrian."""
+
+import numpy as np
+
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import Table
+from repro.generalization.recoding import census_recoder
+from repro.storage.algorithms import paged_anatomize, paged_mondrian
+from repro.storage.engine import StorageEngine
+from repro.storage.page import records_per_page
+
+
+def make_table(n=2000, d=3, seed=0, sens_size=20):
+    rng = np.random.default_rng(seed)
+    qi = [Attribute(f"Q{i}", range(64), kind=AttributeKind.NUMERIC)
+          for i in range(d)]
+    schema = Schema(qi, Attribute("S", range(sens_size)))
+    columns = {f"Q{i}": rng.integers(0, 64, n).astype(np.int32)
+               for i in range(d)}
+    columns["S"] = np.resize(np.arange(sens_size), n).astype(np.int32)
+    return Table(schema, columns)
+
+
+class TestPagedAnatomize:
+    def test_produces_l_diverse_partition(self):
+        table = make_table()
+        result = paged_anatomize(StorageEngine(), table, l=10)
+        assert result.partition.is_l_diverse(10)
+
+    def test_io_counted(self):
+        result = paged_anatomize(StorageEngine(), make_table(), l=10)
+        assert result.io.reads > 0 and result.io.writes > 0
+
+    def test_io_linear_in_n(self):
+        """Theorem 3: I/O is O(n/b); doubling n roughly doubles I/O."""
+        io = {}
+        for n in (2000, 4000):
+            result = paged_anatomize(StorageEngine(), make_table(n=n),
+                                     l=10)
+            io[n] = result.io.total
+        ratio = io[4000] / io[2000]
+        assert 1.6 < ratio < 2.4
+
+    def test_io_order_of_magnitude(self):
+        """Total I/O should be a small constant number of sequential
+        passes: between 4x and 12x the input's page count."""
+        table = make_table(n=3000)
+        engine = StorageEngine()
+        input_pages = -(-3000 // records_per_page(4))
+        result = paged_anatomize(engine, table, l=10)
+        assert 4 * input_pages <= result.io.total <= 12 * input_pages
+
+    def test_matches_in_memory_partition(self):
+        """Same seed -> the paged run produces the same groups as the
+        in-memory algorithm."""
+        from repro.core.anatomize import anatomize_partition
+        table = make_table(n=500)
+        paged = paged_anatomize(StorageEngine(), table, l=5, seed=3)
+        memory = anatomize_partition(table, l=5, seed=3)
+        for g1, g2 in zip(paged.partition, memory):
+            assert np.array_equal(g1.indices, g2.indices)
+
+    def test_details_reported(self):
+        result = paged_anatomize(StorageEngine(), make_table(), l=10)
+        assert result.details["bucket_count"] == 20
+        assert result.details["qit_pages"] > 0
+        assert result.details["st_pages"] > 0
+
+
+class TestPagedMondrian:
+    def test_produces_l_diverse_partition(self):
+        result = paged_mondrian(StorageEngine(), make_table(), l=10)
+        assert result.partition.is_l_diverse(10)
+
+    def test_partition_covers_table(self):
+        table = make_table()
+        result = paged_mondrian(StorageEngine(), table, l=10)
+        rows = np.sort(np.concatenate(
+            [g.indices for g in result.partition]))
+        assert np.array_equal(rows, np.arange(len(table)))
+
+    def test_io_superlinear_in_n(self):
+        """Mondrian's per-level passes make cost grow faster than
+        linearly: I/O(4n) > 2 * I/O(2n) - tolerance."""
+        io = {}
+        for n in (2000, 8000):
+            result = paged_mondrian(StorageEngine(), make_table(n=n),
+                                    l=10)
+            io[n] = result.io.total
+        assert io[8000] > 3.5 * io[2000]
+
+    def test_mondrian_costs_more_than_anatomize(self):
+        table = make_table(n=4000, d=5)
+        ana = paged_anatomize(StorageEngine(), table, l=10)
+        mon = paged_mondrian(StorageEngine(), table, l=10)
+        assert mon.io.total > ana.io.total
+
+    def test_matches_in_memory_partition(self):
+        from repro.generalization.mondrian import mondrian_partition
+        table = make_table(n=800)
+        paged = paged_mondrian(StorageEngine(), table, l=5)
+        memory = mondrian_partition(table, l=5)
+        assert paged.partition.m == memory.m
+        paged_sizes = sorted(g.size for g in paged.partition)
+        memory_sizes = sorted(g.size for g in memory)
+        assert paged_sizes == memory_sizes
+
+    def test_census_recoder_compatible(self, census):
+        table = census.sample_view(4, "Occupation", 1500, seed=1)
+        result = paged_mondrian(StorageEngine(), table, l=10,
+                                recoder=census_recoder())
+        assert result.partition.is_l_diverse(10)
+
+
+class TestIOGapShape:
+    def test_gap_grows_with_d(self, census):
+        """The anatomy/Mondrian I/O ratio widens with dimensionality
+        (Figure 8's shape)."""
+        ratios = {}
+        for d in (3, 7):
+            table = census.sample_view(d, "Occupation", 3000, seed=0)
+            ana = paged_anatomize(StorageEngine(), table, l=10)
+            mon = paged_mondrian(StorageEngine(), table, l=10,
+                                 recoder=census_recoder())
+            ratios[d] = mon.io.total / ana.io.total
+        assert ratios[7] > ratios[3]

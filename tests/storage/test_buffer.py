@@ -1,0 +1,133 @@
+"""Unit tests for the metered disk and LRU buffer pool."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.buffer import BufferManager, Disk
+from repro.storage.page import Page
+
+
+def make_page(value):
+    page = Page(field_count=1, page_size=64)
+    page.append((value,))
+    return page
+
+
+class TestDisk:
+    def test_write_then_read(self):
+        disk = Disk()
+        pid = disk.allocate()
+        disk.write(pid, make_page(7))
+        assert disk.read(pid).records == [(7,)]
+        assert disk.counter.reads == 1
+        assert disk.counter.writes == 1
+
+    def test_read_unwritten_raises(self):
+        disk = Disk()
+        pid = disk.allocate()
+        with pytest.raises(StorageError):
+            disk.read(pid)
+
+    def test_write_unallocated_raises(self):
+        disk = Disk()
+        with pytest.raises(StorageError):
+            disk.write(99, make_page(0))
+
+    def test_free(self):
+        disk = Disk()
+        pid = disk.allocate()
+        disk.write(pid, make_page(1))
+        disk.free(pid)
+        with pytest.raises(StorageError):
+            disk.read(pid)
+        assert disk.page_count == 0
+
+
+class TestBufferManager:
+    def test_hit_costs_nothing(self):
+        disk = Disk()
+        buf = BufferManager(disk, frames=4)
+        pid = disk.allocate()
+        disk.write(pid, make_page(1))
+        buf.get(pid)            # miss: 1 read
+        buf.get(pid)            # hit: free
+        assert disk.counter.reads == 1
+
+    def test_eviction_is_lru(self):
+        disk = Disk()
+        buf = BufferManager(disk, frames=2)
+        pids = [disk.allocate() for _ in range(3)]
+        for pid in pids:
+            disk.write(pid, make_page(pid))
+        buf.get(pids[0])
+        buf.get(pids[1])
+        buf.get(pids[0])        # touch 0 -> 1 is now LRU
+        buf.get(pids[2])        # evicts 1
+        assert disk.counter.reads == 3
+        buf.get(pids[0])        # still resident
+        assert disk.counter.reads == 3
+        buf.get(pids[1])        # was evicted -> miss
+        assert disk.counter.reads == 4
+
+    def test_dirty_eviction_writes_back(self):
+        disk = Disk()
+        buf = BufferManager(disk, frames=1)
+        p1, p2 = disk.allocate(), disk.allocate()
+        buf.put(p1, make_page(1))   # dirty, resident
+        writes_before = disk.counter.writes
+        buf.put(p2, make_page(2))   # evicts dirty p1 -> one write
+        assert disk.counter.writes == writes_before + 1
+        buf.flush()
+        assert disk.read(p1).records == [(1,)]
+        assert disk.read(p2).records == [(2,)]
+
+    def test_clean_eviction_is_free(self):
+        disk = Disk()
+        buf = BufferManager(disk, frames=1)
+        p1, p2 = disk.allocate(), disk.allocate()
+        disk.write(p1, make_page(1))
+        disk.write(p2, make_page(2))
+        writes_before = disk.counter.writes
+        buf.get(p1)
+        buf.get(p2)  # evicts clean p1: no write
+        assert disk.counter.writes == writes_before
+
+    def test_flush_clears_pool(self):
+        disk = Disk()
+        buf = BufferManager(disk, frames=4)
+        pid = disk.allocate()
+        buf.put(pid, make_page(3))
+        buf.flush()
+        assert buf.resident == 0
+        assert disk.read(pid).records == [(3,)]
+
+    def test_mark_dirty(self):
+        disk = Disk()
+        buf = BufferManager(disk, frames=2)
+        pid = disk.allocate()
+        disk.write(pid, make_page(1))
+        page = buf.get(pid)
+        page.append((2,))
+        buf.mark_dirty(pid)
+        buf.flush()
+        assert disk.read(pid).records == [(1,), (2,)]
+
+    def test_mark_dirty_nonresident_raises(self):
+        disk = Disk()
+        buf = BufferManager(disk, frames=2)
+        with pytest.raises(StorageError):
+            buf.mark_dirty(0)
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(StorageError):
+            BufferManager(Disk(), frames=0)
+
+    def test_drop_discards_without_write(self):
+        disk = Disk()
+        buf = BufferManager(disk, frames=2)
+        pid = disk.allocate()
+        buf.put(pid, make_page(1))
+        writes_before = disk.counter.writes
+        buf.drop(pid)
+        buf.flush()
+        assert disk.counter.writes == writes_before

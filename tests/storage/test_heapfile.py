@@ -1,0 +1,86 @@
+"""Unit tests for heap files."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.buffer import BufferManager, Disk
+from repro.storage.heapfile import HeapFile, heapfile_from_records
+
+
+@pytest.fixture()
+def buffer():
+    return BufferManager(Disk(), frames=4)
+
+
+class TestAppendScan:
+    def test_roundtrip(self, buffer):
+        records = [(i, i * 2) for i in range(100)]
+        hf = heapfile_from_records(buffer, records, field_count=2,
+                                   page_size=64)
+        assert list(hf.scan()) == records
+        assert len(hf) == 100
+
+    def test_page_count(self, buffer):
+        # page_size 64, 2 int32 fields -> 8 records per page
+        hf = heapfile_from_records(buffer, [(i, i) for i in range(20)],
+                                   field_count=2, page_size=64)
+        assert hf.page_count == 3  # 8 + 8 + 4
+
+    def test_scan_requires_close(self, buffer):
+        hf = HeapFile(buffer, field_count=1, page_size=64)
+        hf.append((1,))
+        with pytest.raises(StorageError, match="close"):
+            list(hf.scan())
+        hf.close()
+        assert list(hf.scan()) == [(1,)]
+
+    def test_empty_file(self, buffer):
+        hf = HeapFile(buffer, field_count=1)
+        hf.close()
+        assert list(hf.scan()) == []
+        assert hf.page_count == 0
+
+    def test_scan_pages(self, buffer):
+        hf = heapfile_from_records(buffer, [(i,) for i in range(10)],
+                                   field_count=1, page_size=16)
+        pages = list(hf.scan_pages())
+        assert len(pages) == hf.page_count
+        assert [r for page in pages for r in page] \
+            == [(i,) for i in range(10)]
+
+    def test_append_after_close_starts_new_tail(self, buffer):
+        hf = heapfile_from_records(buffer, [(1,)], field_count=1,
+                                   page_size=16)
+        hf.append((2,))
+        hf.close()
+        assert list(hf.scan()) == [(1,), (2,)]
+
+
+class TestIOAccounting:
+    def test_sequential_write_costs_one_write_per_page(self):
+        disk = Disk()
+        buffer = BufferManager(disk, frames=2)
+        hf = HeapFile(buffer, field_count=1, page_size=16)  # 4 rec/page
+        for i in range(40):  # 10 pages
+            hf.append((i,))
+        hf.close()
+        buffer.flush()
+        assert disk.counter.writes == 10
+        assert disk.counter.reads == 0
+
+    def test_sequential_scan_costs_one_read_per_page(self):
+        disk = Disk()
+        buffer = BufferManager(disk, frames=2)
+        hf = heapfile_from_records(buffer, [(i,) for i in range(40)],
+                                   field_count=1, page_size=16)
+        buffer.flush()
+        disk.counter.reads = 0
+        list(hf.scan())
+        assert disk.counter.reads == hf.page_count
+
+    def test_free_releases_pages(self, buffer):
+        hf = heapfile_from_records(buffer, [(i,) for i in range(10)],
+                                   field_count=1, page_size=16)
+        hf.free()
+        assert hf.page_count == 0
+        assert len(hf) == 0

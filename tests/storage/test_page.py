@@ -1,0 +1,82 @@
+"""Unit tests for pages and the I/O counter."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage.page import (
+    DEFAULT_MEMORY_PAGES,
+    DEFAULT_PAGE_SIZE,
+    IOCounter,
+    Page,
+    records_per_page,
+)
+
+
+class TestPaperConstants:
+    def test_page_size_4096(self):
+        assert DEFAULT_PAGE_SIZE == 4096
+
+    def test_memory_50_pages(self):
+        assert DEFAULT_MEMORY_PAGES == 50
+
+
+class TestRecordsPerPage:
+    def test_basic(self):
+        # 4-byte fields: a 4-field record is 16 bytes -> 256 per page
+        assert records_per_page(4) == 256
+        assert records_per_page(8) == 128
+
+    def test_custom_page_size(self):
+        assert records_per_page(2, page_size=64) == 8
+
+    def test_record_larger_than_page(self):
+        with pytest.raises(StorageError):
+            records_per_page(2000, page_size=64)
+
+    def test_zero_fields_rejected(self):
+        with pytest.raises(StorageError):
+            records_per_page(0)
+
+
+class TestIOCounter:
+    def test_total(self):
+        c = IOCounter(reads=3, writes=4)
+        assert c.total == 7
+
+    def test_add(self):
+        a = IOCounter(1, 2)
+        a.add(IOCounter(10, 20))
+        assert (a.reads, a.writes) == (11, 22)
+
+    def test_snapshot_is_independent(self):
+        a = IOCounter(1, 1)
+        snap = a.snapshot()
+        a.reads = 99
+        assert snap.reads == 1
+
+
+class TestPage:
+    def test_capacity(self):
+        page = Page(field_count=4, page_size=64)
+        assert page.capacity == 4
+
+    def test_append_until_full(self):
+        page = Page(field_count=2, page_size=16)  # 2 records
+        page.append((1, 2))
+        assert not page.is_full
+        page.append((3, 4))
+        assert page.is_full
+        with pytest.raises(StorageError, match="full"):
+            page.append((5, 6))
+
+    def test_wrong_arity_rejected(self):
+        page = Page(field_count=2)
+        with pytest.raises(StorageError, match="fields"):
+            page.append((1, 2, 3))
+
+    def test_records_retained_in_order(self):
+        page = Page(field_count=1, page_size=64)
+        for i in range(5):
+            page.append((i,))
+        assert page.records == [(i,) for i in range(5)]
+        assert len(page) == 5
