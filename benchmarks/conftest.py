@@ -19,6 +19,7 @@ from repro.experiments.config import (
     PAPER_CONFIG,
     SMOKE_CONFIG,
 )
+from repro.perf import PerfRecorder, set_recorder
 
 #: The grid every bench runs.  Select with REPRO_BENCH_SCALE =
 #: smoke | default | paper (default: default).  "paper" is the faithful
@@ -26,6 +27,24 @@ from repro.experiments.config import (
 _SCALES = {"smoke": SMOKE_CONFIG, "default": DEFAULT_CONFIG,
            "paper": PAPER_CONFIG}
 BENCH_CONFIG = _SCALES[os.environ.get("REPRO_BENCH_SCALE", "default")]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def perf_recorder():
+    """Installs a session-wide PerfRecorder so every instrumented span
+    (experiment runners, batch engine, the benches' own records) lands in
+    ``benchmarks/BENCH_summary.json`` — the machine-readable input of
+    ``python -m repro.perf.check``."""
+    recorder = PerfRecorder(
+        scale=os.environ.get("REPRO_BENCH_SCALE", "default"),
+        l=BENCH_CONFIG.l,
+        default_n=BENCH_CONFIG.default_n,
+    )
+    previous = set_recorder(recorder)
+    yield recorder
+    set_recorder(previous)
+    recorder.write(os.path.join(os.path.dirname(__file__),
+                                "BENCH_summary.json"))
 
 
 @pytest.fixture(scope="session")

@@ -121,8 +121,14 @@ class Partition:
                  groups: Sequence[Iterable[int]],
                  validate: bool = True) -> None:
         self.table = table
+        # Index arrays pass straight through (the fast Anatomize path
+        # hands over one row view per group); other iterables take the
+        # list round-trip.
         self.groups: tuple[QIGroup, ...] = tuple(
-            QIGroup(table, np.asarray(list(g), dtype=np.int64), j + 1)
+            QIGroup(table,
+                    g if isinstance(g, np.ndarray)
+                    else np.asarray(list(g), dtype=np.int64),
+                    j + 1)
             for j, g in enumerate(groups)
         )
         if validate:

@@ -23,6 +23,7 @@ from repro.dataset.table import Table
 from repro.experiments.config import ExperimentConfig
 from repro.generalization.mondrian import mondrian
 from repro.generalization.recoding import census_recoder
+from repro.perf import span
 from repro.query.estimators import (
     AnatomyEstimator,
     ExactEvaluator,
@@ -63,10 +64,14 @@ class PublicationCache:
                    ) -> tuple[ExactEvaluator, AnatomyEstimator,
                               GeneralizationEstimator]:
         if key not in self._store:
-            published = anatomize(table, self.config.l,
-                                  seed=self.config.algorithm_seed)
-            generalized = mondrian(table, self.config.l,
-                                   recoder=census_recoder())
+            with span("publish.anatomize", n=len(table),
+                      l=self.config.l):
+                published = anatomize(table, self.config.l,
+                                      seed=self.config.algorithm_seed)
+            with span("publish.mondrian", n=len(table),
+                      l=self.config.l):
+                generalized = mondrian(table, self.config.l,
+                                       recoder=census_recoder())
             self._store[key] = (
                 ExactEvaluator(table),
                 AnatomyEstimator(published),
@@ -85,8 +90,10 @@ def accuracy_point(table: Table, l: int, qd: int, s: float,
     when a :class:`PublicationCache` already built them.
     """
     if estimators is None:
-        published = anatomize(table, l, seed=algorithm_seed)
-        generalized = mondrian(table, l, recoder=census_recoder())
+        with span("publish.anatomize", n=len(table), l=l):
+            published = anatomize(table, l, seed=algorithm_seed)
+        with span("publish.mondrian", n=len(table), l=l):
+            generalized = mondrian(table, l, recoder=census_recoder())
         exact = ExactEvaluator(table)
         anatomy_est = AnatomyEstimator(published)
         general_est = GeneralizationEstimator(generalized)
@@ -95,9 +102,11 @@ def accuracy_point(table: Table, l: int, qd: int, s: float,
 
     workload = make_workload(table.schema, qd, s, n_queries,
                              seed=workload_seed)
-    results = evaluate_workload_many(
-        workload, exact,
-        {"anatomy": anatomy_est, "generalization": general_est})
+    with span("workload.evaluate", queries=len(workload),
+              n=len(table), qd=qd):
+        results = evaluate_workload_many(
+            workload, exact,
+            {"anatomy": anatomy_est, "generalization": general_est})
     anatomy = results["anatomy"]
     general = results["generalization"]
     return AccuracyPoint(
@@ -113,10 +122,13 @@ def io_point(table: Table, l: int,
     """Measure both paged algorithms' I/O on one view (fresh engines, so
     runs do not share buffer state)."""
     engine_a = StorageEngine()
-    result_a = paged_anatomize(engine_a, table, l, seed=algorithm_seed)
+    with span("io.paged_anatomize", n=len(table), l=l):
+        result_a = paged_anatomize(engine_a, table, l, seed=algorithm_seed)
 
     engine_m = StorageEngine()
-    result_m = paged_mondrian(engine_m, table, l, recoder=census_recoder())
+    with span("io.paged_mondrian", n=len(table), l=l):
+        result_m = paged_mondrian(engine_m, table, l,
+                                  recoder=census_recoder())
 
     return IOPoint(anatomy_io=result_a.io.total,
                    generalization_io=result_m.io.total)

@@ -1,0 +1,27 @@
+"""Performance instrumentation: timing hooks and benchmark summaries.
+
+:mod:`repro.perf.timing` provides :class:`PerfRecorder` plus module-level
+``span``/``record`` hooks that are no-ops until a recorder is installed
+with ``set_recorder`` — cheap enough to live permanently in library code
+(the experiment runners and the batch query engine are instrumented).
+The benchmark suite installs a recorder for the whole session and writes
+``benchmarks/BENCH_summary.json``; ``python -m repro.perf.check``
+compares that summary against a recorded baseline and fails on
+regressions.
+"""
+
+from repro.perf.timing import (
+    PerfRecorder,
+    active_recorder,
+    record,
+    set_recorder,
+    span,
+)
+
+__all__ = [
+    "PerfRecorder",
+    "active_recorder",
+    "record",
+    "set_recorder",
+    "span",
+]

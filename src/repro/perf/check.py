@@ -1,0 +1,113 @@
+"""Benchmark regression gate: ``python -m repro.perf.check``.
+
+Compares the spans of a freshly written ``BENCH_summary.json`` against a
+recorded baseline and exits non-zero when any span's mean wall-clock
+time regressed by more than the threshold (default 2x).  The quick-tier
+smoke job runs::
+
+    REPRO_BENCH_SCALE=smoke python -m pytest benchmarks \
+        -k "algorithm_speed or batch_queries"
+    python -m repro.perf.check
+
+Record (or refresh) the baseline from the current summary with
+``python -m repro.perf.check --update-baseline``.  Span names present in
+only one of the two files are reported but never fail the gate, so new
+benchmarks can land before the baseline is refreshed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+_BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), "benchmarks")
+DEFAULT_CURRENT = os.path.join(_BENCH_DIR, "BENCH_summary.json")
+DEFAULT_BASELINE = os.path.join(_BENCH_DIR, "BENCH_baseline.json")
+
+
+def load_summary(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare(current: dict, baseline: dict,
+            threshold: float = 2.0) -> tuple[list[str], list[str]]:
+    """Diff two summaries' per-span mean times.
+
+    Returns ``(violations, notes)``: spans slower than ``threshold`` x
+    baseline, and informational lines (unmatched spans, improvements).
+    """
+    violations: list[str] = []
+    notes: list[str] = []
+    current_spans = current.get("spans", {})
+    baseline_spans = baseline.get("spans", {})
+    for name in sorted(baseline_spans):
+        base = baseline_spans[name]
+        cur = current_spans.get(name)
+        if cur is None:
+            notes.append(f"{name}: in baseline only (not run)")
+            continue
+        base_mean = float(base.get("mean_s", 0.0))
+        cur_mean = float(cur.get("mean_s", 0.0))
+        if base_mean <= 0.0:
+            continue
+        ratio = cur_mean / base_mean
+        line = (f"{name}: {cur_mean * 1e3:.2f} ms vs baseline "
+                f"{base_mean * 1e3:.2f} ms ({ratio:.2f}x)")
+        if ratio > threshold:
+            violations.append(line + f" exceeds {threshold:.1f}x")
+        else:
+            notes.append(line)
+    for name in sorted(set(current_spans) - set(baseline_spans)):
+        notes.append(f"{name}: new span (no baseline)")
+    return violations, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.check",
+        description="Fail when benchmark spans regress vs the baseline.")
+    parser.add_argument("--current", default=DEFAULT_CURRENT,
+                        help="summary written by the benchmark run")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="recorded baseline summary")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="max allowed mean-time ratio (default 2.0)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="copy the current summary over the baseline")
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.current):
+        print(f"error: no benchmark summary at {args.current}; "
+              f"run the benchmark suite first", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    if not os.path.exists(args.baseline):
+        print(f"no baseline recorded at {args.baseline}; "
+              f"run with --update-baseline to create one")
+        return 0
+    violations, notes = compare(load_summary(args.current),
+                                load_summary(args.baseline),
+                                threshold=args.threshold)
+    for line in notes:
+        print(f"  ok  {line}")
+    for line in violations:
+        print(f"FAIL  {line}")
+    if violations:
+        print(f"{len(violations)} span(s) regressed more than "
+              f"{args.threshold:.1f}x", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Wall-clock spans and machine-readable benchmark summaries.
+
+Library code marks interesting regions with the module-level hooks::
+
+    from repro.perf import span
+
+    with span("publish.anatomize", n=len(table), l=l):
+        published = anatomize(table, l)
+
+Without an installed recorder the hooks cost a dictionary lookup and a
+shared no-op context manager, so they are safe on hot paths.  A harness
+(the benchmark suite's ``conftest``) installs one for the duration of a
+run::
+
+    recorder = PerfRecorder(scale="default")
+    previous = set_recorder(recorder)
+    ...
+    set_recorder(previous)
+    recorder.write("benchmarks/BENCH_summary.json")
+
+The written summary aggregates spans by name (count / total / mean /
+min / max seconds) so ``repro.perf.check`` can diff two runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+#: Format version of the summary document.
+SCHEMA_VERSION = 1
+
+
+class PerfRecorder:
+    """Collects named wall-clock spans and renders a JSON summary."""
+
+    def __init__(self, **metadata) -> None:
+        self.metadata = dict(metadata)
+        self.entries: list[dict] = []
+
+    def record(self, name: str, seconds: float, **info) -> None:
+        """Record one completed span of ``seconds`` wall-clock time."""
+        entry: dict = {"name": str(name), "seconds": float(seconds)}
+        if info:
+            entry["info"] = info
+        self.entries.append(entry)
+
+    @contextmanager
+    def span(self, name: str, **info):
+        """Context manager timing its body with ``time.perf_counter``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start, **info)
+
+    def totals(self) -> dict[str, dict]:
+        """Aggregate statistics per span name."""
+        aggregated: dict[str, dict] = {}
+        for entry in self.entries:
+            stats = aggregated.setdefault(entry["name"], {
+                "count": 0, "total_s": 0.0,
+                "min_s": float("inf"), "max_s": 0.0,
+            })
+            seconds = entry["seconds"]
+            stats["count"] += 1
+            stats["total_s"] += seconds
+            stats["min_s"] = min(stats["min_s"], seconds)
+            stats["max_s"] = max(stats["max_s"], seconds)
+        for stats in aggregated.values():
+            stats["mean_s"] = stats["total_s"] / stats["count"]
+        return aggregated
+
+    def summary(self) -> dict:
+        """The machine-readable document ``write`` serializes."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "metadata": self.metadata,
+            "spans": self.totals(),
+            "entries": self.entries,
+        }
+
+    def write(self, path: str) -> str:
+        """Write the summary as JSON; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.summary(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+_active: PerfRecorder | None = None
+
+
+def set_recorder(recorder: PerfRecorder | None) -> PerfRecorder | None:
+    """Install ``recorder`` as the hook target; returns the previous one
+    (pass it back to restore)."""
+    global _active
+    previous = _active
+    _active = recorder
+    return previous
+
+
+def active_recorder() -> PerfRecorder | None:
+    return _active
+
+
+@contextmanager
+def _noop_span():
+    yield
+
+
+def span(name: str, **info):
+    """Time a region on the active recorder; no-op when none is set."""
+    if _active is None:
+        return _noop_span()
+    return _active.span(name, **info)
+
+
+def record(name: str, seconds: float, **info) -> None:
+    """Record a pre-measured duration on the active recorder, if any."""
+    if _active is not None:
+        _active.record(name, seconds, **info)

@@ -7,6 +7,13 @@ from repro.query.aggregates import (
     GeneralizationAggregator,
     Measure,
 )
+from repro.query.batch import (
+    AnatomyIndex,
+    BatchEvaluator,
+    GeneralizationIndex,
+    MicrodataIndex,
+    WorkloadEncoding,
+)
 from repro.query.estimators import (
     AnatomyEstimator,
     ExactEvaluator,
@@ -30,12 +37,17 @@ from repro.query.workload import (
 __all__ = [
     "AnatomyAggregator",
     "AnatomyEstimator",
+    "AnatomyIndex",
+    "BatchEvaluator",
     "CountQuery",
     "ExactAggregator",
     "ExactEvaluator",
     "GeneralizationAggregator",
     "GeneralizationEstimator",
+    "GeneralizationIndex",
     "Measure",
+    "MicrodataIndex",
+    "WorkloadEncoding",
     "WorkloadGenerator",
     "WorkloadResult",
     "evaluate_workload",

@@ -1,6 +1,8 @@
 """Query answering: ground truth and the two publication estimators.
 
-Three evaluators share one interface (``estimate(query) -> float``):
+Three evaluators share one interface (``estimate(query) -> float`` plus
+the batch ``estimate_workload(queries) -> ndarray`` inherited from
+:class:`repro.query.batch.BatchEvaluator`):
 
 * :class:`ExactEvaluator` — the actual result on the microdata (the
   quantity ``act`` in the paper's error metric).
@@ -15,9 +17,12 @@ Three evaluators share one interface (``estimate(query) -> float``):
   suggested by [9]): per constrained attribute, the fraction of the group's
   interval covered by the predicate's values, multiplied across attributes.
 
-All three are vectorized: per query the work is O(n) for exact/anatomy
-(one fancy-indexed lookup per constrained column) and O(m) for
-generalization (per-group interval arithmetic on pre-extracted arrays).
+Each evaluator builds its precomputed index (see
+:mod:`repro.query.batch`) once at construction; the per-query path reads
+the same index, so per query the work is O(n) for exact/anatomy (one
+fancy-indexed lookup per constrained column) and O(m) for generalization
+(per-group interval arithmetic on pre-extracted arrays), while whole
+workloads go through the vectorized batch engine.
 """
 
 from __future__ import annotations
@@ -28,21 +33,29 @@ from repro.core.tables import AnatomizedTables
 from repro.dataset.table import Table
 from repro.exceptions import QueryError
 from repro.generalization.generalized_table import GeneralizedTable
+from repro.query.batch import (
+    AnatomyIndex,
+    BatchEvaluator,
+    GeneralizationIndex,
+    MicrodataIndex,
+)
 from repro.query.predicates import CountQuery
 
 
-class ExactEvaluator:
+class ExactEvaluator(BatchEvaluator):
     """Ground-truth COUNT evaluation on the microdata."""
 
     def __init__(self, table: Table) -> None:
         self.table = table
+        self._index = MicrodataIndex(table)
 
     def estimate(self, query: CountQuery) -> float:
         """The actual query result (an exact integer, returned as
         float for interface uniformity)."""
-        if query.schema is not self.table.schema \
-                and query.schema != self.table.schema:
-            raise QueryError("query schema does not match the microdata")
+        if query.schema != self.table.schema:
+            raise QueryError(
+                f"query schema {query.schema!r} does not match the "
+                f"microdata schema {self.table.schema!r}")
         mask = query.lookup_table(
             self.table.schema.sensitive.name)[self.table.sensitive_column]
         for name in query.qi_predicates:
@@ -50,25 +63,21 @@ class ExactEvaluator:
         return float(np.count_nonzero(mask))
 
 
-class AnatomyEstimator:
+class AnatomyEstimator(BatchEvaluator):
     """The anatomy estimator of Section 1.2.
 
-    Precomputes, per group ``j``: the group size ``|QI_j|`` and the ST
-    histogram as a dense ``(m, |As|)`` count matrix, so each query costs
-    one QIT scan plus O(m) arithmetic.
+    The :class:`~repro.query.batch.AnatomyIndex` precomputes, per group
+    ``j``: the group size ``|QI_j|`` and the ST histogram as a dense
+    ``(m, |As|)`` count matrix, so each query costs one QIT scan plus
+    O(m) arithmetic.
     """
 
     def __init__(self, published: AnatomizedTables) -> None:
         self.published = published
-        st = published.st
-        self._m = st.group_count()
-        sens_size = published.schema.sensitive.size
-        # Dense per-group sensitive histogram; group_id g -> row g-1.
-        self._st_matrix = np.zeros((self._m, sens_size), dtype=np.int64)
-        self._st_matrix[st.group_ids - 1, st.sensitive_codes] = st.counts
-        self._group_sizes = self._st_matrix.sum(axis=1).astype(np.float64)
-        if np.any(self._group_sizes == 0):
-            raise QueryError("ST contains an empty group")
+        self._index = AnatomyIndex(published)
+        self._m = self._index.m
+        self._st_matrix = self._index.st_matrix
+        self._group_sizes = self._index.group_sizes
 
     def estimate(self, query: CountQuery) -> float:
         """``sum_j count_j(V_s) * p_j`` with ``p_j`` the exact in-group
@@ -84,37 +93,27 @@ class AnatomyEstimator:
                                 minlength=self._m).astype(np.float64)
         p = satisfied / self._group_sizes
         # Per-group count of qualifying sensitive values from the ST.
-        sens_codes = sorted(query.sensitive_values)
-        count_s = self._st_matrix[:, sens_codes].sum(axis=1)
+        count_s = self._st_matrix[:, query.sensitive_code_array].sum(axis=1)
         _ = schema  # schemas validated at construction
         return float((count_s * p).sum())
 
 
-class GeneralizationEstimator:
+class GeneralizationEstimator(BatchEvaluator):
     """The uniform-assumption estimator of Section 1.1.
 
-    Precomputes per group: interval bounds per QI attribute (``(m,)``
-    arrays of lows and highs) and the dense sensitive histogram, so each
-    query is pure vectorized interval arithmetic over the ``m`` groups.
+    The :class:`~repro.query.batch.GeneralizationIndex` precomputes per
+    group: interval bounds per QI attribute (``(m,)`` arrays of lows and
+    highs) and the dense sensitive histogram, so each query is pure
+    vectorized interval arithmetic over the ``m`` groups.
     """
 
     def __init__(self, published: GeneralizedTable) -> None:
         self.published = published
-        schema = published.schema
-        m = published.m
-        self._m = m
-        self._los = {}
-        self._his = {}
-        for i, attr in enumerate(schema.qi_attributes):
-            self._los[attr.name] = np.asarray(
-                [g.intervals[i][0] for g in published], dtype=np.int64)
-            self._his[attr.name] = np.asarray(
-                [g.intervals[i][1] for g in published], dtype=np.int64)
-        sens_size = schema.sensitive.size
-        self._sens_matrix = np.zeros((m, sens_size), dtype=np.int64)
-        for j, group in enumerate(published):
-            for code, count in group.sensitive_histogram().items():
-                self._sens_matrix[j, code] = count
+        self._index = GeneralizationIndex(published)
+        self._m = self._index.m
+        self._los = self._index.lows
+        self._his = self._index.highs
+        self._sens_matrix = self._index.sens_matrix
 
     def _qi_fraction(self, query: CountQuery) -> np.ndarray:
         """Per group, the assumed-uniform probability that a tuple
@@ -135,6 +134,6 @@ class GeneralizationEstimator:
     def estimate(self, query: CountQuery) -> float:
         """``sum_j count_j(V_s) * p_j`` with ``p_j`` the uniformity-based
         in-box fraction."""
-        sens_codes = sorted(query.sensitive_values)
-        count_s = self._sens_matrix[:, sens_codes].sum(axis=1)
+        count_s = self._sens_matrix[:, query.sensitive_code_array].sum(
+            axis=1)
         return float((count_s * self._qi_fraction(query)).sum())

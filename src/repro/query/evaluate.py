@@ -9,6 +9,13 @@ Queries with ``act = 0`` make the relative error undefined; following the
 standard practice for this metric, they are excluded from the average (the
 result records how many were excluded, so the workloads can be sized
 accordingly).
+
+When every evaluator supports the batch engine (all the built-in ones
+do — see :mod:`repro.query.batch`), the workload is encoded once and
+evaluated in vectorized passes; the default ``mode="exact"`` makes this
+bit-for-bit identical to the per-query loop, which remains available via
+``batch=False`` (and is used automatically for third-party estimators
+exposing only ``estimate``).
 """
 
 from __future__ import annotations
@@ -63,14 +70,54 @@ def relative_error(actual: float, estimate: float) -> float:
     return abs(actual - estimate) / actual
 
 
+def _supports_batch(evaluator) -> bool:
+    return (hasattr(evaluator, "estimate_workload")
+            and hasattr(evaluator, "encode"))
+
+
+def _evaluate_batch(queries: Sequence[CountQuery], exact,
+                    estimators: dict[str, object],
+                    mode: str) -> dict[str, WorkloadResult]:
+    """One encoding, one ground-truth pass, one pass per estimator."""
+    queries = list(queries)
+    if not queries:
+        return {name: WorkloadResult() for name in estimators}
+    encoding = exact.encode(queries)
+    actuals = np.asarray(exact.estimate_workload(encoding, mode=mode),
+                         dtype=np.float64)
+    keep = actuals != 0.0
+    skipped = int(np.count_nonzero(~keep))
+    kept_actuals = actuals[keep]
+    results = {}
+    for name, estimator in estimators.items():
+        estimates = np.asarray(
+            estimator.estimate_workload(encoding, mode=mode),
+            dtype=np.float64)[keep]
+        errors = np.abs(kept_actuals - estimates) / kept_actuals
+        results[name] = WorkloadResult(
+            errors=errors.tolist(),
+            skipped_zero_actual=skipped,
+            actuals=kept_actuals.tolist(),
+            estimates=estimates.tolist(),
+        )
+    return results
+
+
 def evaluate_workload(queries: Sequence[CountQuery],
-                      exact, estimator) -> WorkloadResult:
+                      exact, estimator, *, batch: bool = True,
+                      mode: str = "exact") -> WorkloadResult:
     """Run a workload through ``exact`` (truth) and ``estimator`` and
     collect relative errors.
 
     Both arguments expose ``estimate(query) -> float`` (see
-    :mod:`repro.query.estimators`).
+    :mod:`repro.query.estimators`).  When both also expose the batch
+    interface (``encode`` / ``estimate_workload``) and ``batch`` is true,
+    the workload goes through the vectorized engine; ``mode`` is the
+    batch mode (``"exact"`` is bit-identical to the per-query loop).
     """
+    if batch and _supports_batch(exact) and _supports_batch(estimator):
+        return _evaluate_batch(queries, exact, {"_": estimator},
+                               mode)["_"]
     result = WorkloadResult()
     for query in queries:
         actual = exact.estimate(query)
@@ -85,10 +132,19 @@ def evaluate_workload(queries: Sequence[CountQuery],
 
 
 def evaluate_workload_many(queries: Sequence[CountQuery], exact,
-                           estimators: dict[str, object]
+                           estimators: dict[str, object], *,
+                           batch: bool = True, mode: str = "exact"
                            ) -> dict[str, WorkloadResult]:
     """Evaluate several estimators over the same workload with one pass of
-    ground-truth computation (the expensive part)."""
+    ground-truth computation (the expensive part).
+
+    With ``batch`` (default) and batch-capable evaluators, the workload
+    is encoded once and shared by the ground truth and every estimator;
+    otherwise falls back to the per-query loop.
+    """
+    if (batch and _supports_batch(exact)
+            and all(_supports_batch(e) for e in estimators.values())):
+        return _evaluate_batch(queries, exact, estimators, mode)
     results = {name: WorkloadResult() for name in estimators}
     for query in queries:
         actual = exact.estimate(query)

@@ -36,13 +36,14 @@ class CountQuery:
         always constrains ``As``).
     """
 
-    __slots__ = ("schema", "qi_predicates", "sensitive_values")
+    __slots__ = ("schema", "qi_predicates", "sensitive_values",
+                 "_qi_code_arrays", "_sensitive_code_array")
 
     def __init__(self, schema: Schema,
                  qi_predicates: Mapping[str, Iterable[int]],
                  sensitive_values: Iterable[int]) -> None:
         self.schema = schema
-        self.qi_predicates: dict[str, frozenset[int]] = {}
+        staged: dict[str, frozenset[int]] = {}
         for name, codes in qi_predicates.items():
             attr = schema.attribute(name)
             if schema.is_sensitive(name):
@@ -55,13 +56,27 @@ class CountQuery:
             if any(c < 0 or c >= attr.size for c in codes):
                 raise QueryError(
                     f"predicate on {name!r} has out-of-domain codes")
-            self.qi_predicates[name] = codes
+            staged[name] = codes
+        # Canonical schema order: batch and per-query evaluation then
+        # combine per-attribute factors in the same sequence, which keeps
+        # their floating-point results bit-identical.
+        self.qi_predicates: dict[str, frozenset[int]] = {
+            attr.name: staged[attr.name]
+            for attr in schema.qi_attributes if attr.name in staged
+        }
         sens = frozenset(int(c) for c in sensitive_values)
         if not sens:
             raise QueryError("empty sensitive predicate")
         if any(c < 0 or c >= schema.sensitive.size for c in sens):
             raise QueryError("sensitive predicate has out-of-domain codes")
         self.sensitive_values = sens
+        self._qi_code_arrays = {
+            name: np.fromiter(sorted(codes), dtype=np.int64,
+                              count=len(codes))
+            for name, codes in self.qi_predicates.items()
+        }
+        self._sensitive_code_array = np.fromiter(
+            sorted(sens), dtype=np.int64, count=len(sens))
 
     @classmethod
     def from_ranges(cls, schema: Schema,
@@ -119,6 +134,17 @@ class CountQuery:
         """Query dimensionality: number of constrained QI attributes."""
         return len(self.qi_predicates)
 
+    def qi_code_array(self, name: str) -> np.ndarray | None:
+        """Sorted int64 array of the accepted codes on a QI attribute, or
+        ``None`` when the attribute is unconstrained.  Cached at
+        construction; the batch engine encodes workloads from these."""
+        return self._qi_code_arrays.get(name)
+
+    @property
+    def sensitive_code_array(self) -> np.ndarray:
+        """Sorted int64 array of the accepted sensitive codes."""
+        return self._sensitive_code_array
+
     def lookup_table(self, name: str) -> np.ndarray:
         """Boolean membership table over the attribute's domain.
 
@@ -127,12 +153,12 @@ class CountQuery:
         """
         attr = self.schema.attribute(name)
         lut = np.zeros(attr.size, dtype=bool)
-        codes = (self.sensitive_values
+        codes = (self._sensitive_code_array
                  if self.schema.is_sensitive(name)
-                 else self.qi_predicates.get(name))
+                 else self._qi_code_arrays.get(name))
         if codes is None:
             raise QueryError(f"query does not constrain {name!r}")
-        lut[list(codes)] = True
+        lut[codes] = True
         return lut
 
     def describe(self) -> str:

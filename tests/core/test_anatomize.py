@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.anatomize import anatomize, anatomize_partition
+from repro.core.anatomize import (
+    _BucketHeap,
+    anatomize,
+    anatomize_partition,
+)
 from repro.core.rce import anatomize_rce_formula, anatomy_rce
 from repro.dataset.schema import Attribute, Schema
 from repro.dataset.table import Table
@@ -164,9 +168,100 @@ class TestBucketHeapBehaviour:
         table = Table(schema, {
             "A": np.zeros(n, dtype=np.int32),
             "S": np.asarray(codes, dtype=np.int32)})
-        partition = anatomize_partition(table, l=l, seed=4)
+        partition = anatomize_partition(table, l=l, seed=4,
+                                        method="heap")
         assert partition.is_l_diverse(l)
         assert sum(g.size for g in partition) == n
+
+    def test_nonempty_count_maintained_incrementally(self):
+        """The heap's non-empty count must track decrements exactly (it
+        is read every loop iteration, so it is kept as a counter rather
+        than recounted)."""
+        heap = _BucketHeap({0: 3, 1: 2, 2: 1, 3: 0})
+        assert heap.nonempty_count == 3
+        heap.pop_largest(2)          # sizes: 2, 1, 1
+        assert heap.nonempty_count == 3
+        heap.pop_largest(3)          # sizes: 1, 0, 0
+        assert heap.nonempty_count == 1
+        heap.pop_largest(1)          # sizes: 0
+        assert heap.nonempty_count == 0
+        assert heap.size(0) == 0
+
+
+class TestFastVsHeap:
+    """The vectorized dealer must be interchangeable with the Figure 3
+    heap loop: both l-diverse, identical group-size multisets for the
+    same seed."""
+
+    # (n, l) pairs with every sensitive count <= m - r, so residues can
+    # always spread to distinct groups and the size multiset is forced
+    # to {l+1: r, l: m-r} for any valid run.
+    CASES = [(20, 4), (23, 3), (57, 5), (60, 3), (61, 5), (100, 10)]
+
+    @staticmethod
+    def _table(n, values=12, seed=0):
+        return make_table(list(np.resize(np.arange(values), n)),
+                          seed=seed)
+
+    @pytest.mark.parametrize("n,l", CASES)
+    def test_same_group_size_multiset(self, n, l):
+        table = self._table(n)
+        fast = anatomize_partition(table, l, seed=9, method="fast")
+        heap = anatomize_partition(table, l, seed=9, method="heap")
+        assert sorted(g.size for g in fast) \
+            == sorted(g.size for g in heap)
+        r = n % l
+        sizes = sorted(g.size for g in fast)
+        assert sizes.count(l + 1) == r
+        assert sizes.count(l) == n // l - r
+
+    @pytest.mark.parametrize("method", ["fast", "heap"])
+    @pytest.mark.parametrize("n,l", CASES)
+    def test_both_methods_property_3(self, n, l, method):
+        partition = anatomize_partition(self._table(n), l, seed=2,
+                                        method=method)
+        assert partition.is_l_diverse(l)
+        assert partition.m == n // l
+        for g in partition:
+            codes = g.sensitive_codes()
+            assert len(np.unique(codes)) == len(codes)
+        rows = np.sort(np.concatenate([g.indices for g in partition]))
+        assert np.array_equal(rows, np.arange(n))
+
+    def test_heap_is_the_default(self, occ3):
+        """The Figure 3 heap stays the default (its code-local groups
+        preserve downstream utility better — see module docstring);
+        the dealer is the opt-in speed path."""
+        default = anatomize_partition(occ3, l=10, seed=11)
+        heap = anatomize_partition(occ3, l=10, seed=11, method="heap")
+        for g1, g2 in zip(default, heap):
+            assert np.array_equal(g1.indices, g2.indices)
+
+    def test_fast_matches_heap_on_census_view(self, occ3):
+        fast = anatomize_partition(occ3, l=10, seed=0, method="fast")
+        heap = anatomize_partition(occ3, l=10, seed=0, method="heap")
+        assert fast.is_l_diverse(10)
+        assert heap.is_l_diverse(10)
+        assert sorted(g.size for g in fast) \
+            == sorted(g.size for g in heap)
+
+    def test_fast_seed_determinism(self):
+        table = self._table(57)
+        p1 = anatomize_partition(table, 5, seed=123, method="fast")
+        p2 = anatomize_partition(table, 5, seed=123, method="fast")
+        for g1, g2 in zip(p1, p2):
+            assert np.array_equal(g1.indices, g2.indices)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            anatomize_partition(self._table(20), 4, method="turbo")
+
+    def test_fast_theorem4_rce(self):
+        for n, l in self.CASES:
+            partition = anatomize_partition(self._table(n), l, seed=0,
+                                            method="fast")
+            assert anatomy_rce(partition) == pytest.approx(
+                anatomize_rce_formula(n, l))
 
 
 def test_make_balanced_table_helper(tiny_schema):
