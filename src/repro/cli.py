@@ -7,10 +7,16 @@ Wraps the publisher / analyst / auditor workflows:
 * ``verify``     — audit a published QIT/ST pair against an l target.
 * ``attack``     — run the Theorem 1 adversary against a publication.
 * ``experiment`` — regenerate one of the paper's figures and print it.
+* ``serve``      — run the HTTP publication server
+  (:mod:`repro.service`).
 
 Every command works on plain CSVs so the tool composes with anything;
 schemas are inferred from the microdata file
 (:func:`repro.dataset.io.infer_schema_from_csv`).
+
+Exit codes: 0 on success, :data:`EXIT_FAILURE` (1) when a command runs
+but fails (bad data, infeasible l, failed audit), :data:`EXIT_USAGE`
+(2) when the invocation itself is malformed.
 """
 
 from __future__ import annotations
@@ -28,6 +34,11 @@ from repro.dataset.io import (
     save_table,
 )
 from repro.exceptions import ReproError
+
+#: A command ran and failed (library-level :class:`ReproError`).
+EXIT_FAILURE = 1
+#: The invocation was malformed (argparse errors, wrong arity).
+EXIT_USAGE = 2
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -78,7 +89,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         print(f"error: expected {schema.d} QI values "
               f"({', '.join(schema.qi_names)}), got {len(values)}",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     decoded = []
     for attr, text in zip(schema.qi_attributes, values):
         candidate: object = text
@@ -93,12 +104,32 @@ def _cmd_attack(args: argparse.Namespace) -> int:
         posterior = adversary.posterior(codes)
     except ReproError as exc:
         print(f"attack failed: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     print(f"target QI values: {dict(zip(schema.qi_names, decoded))}")
     print("adversary's posterior over the sensitive attribute:")
     for code, prob in sorted(posterior.items(), key=lambda kv: -kv[1]):
         print(f"  {schema.sensitive.decode(code)}: {prob:.2%}")
     print(f"max inference probability: {max(posterior.values()):.2%}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.http import ReproService, make_server
+
+    service = ReproService(mode=args.mode, cache_size=args.cache_size,
+                           batch_window_s=args.batch_window_ms / 1000.0)
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}", flush=True)
+    print(f"  mode={args.mode} cache_size={args.cache_size} "
+          f"batch_window={args.batch_window_ms:g} ms", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
     return 0
 
 
@@ -164,6 +195,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "order")
     p.set_defaults(func=_cmd_attack)
 
+    p = sub.add_parser("serve",
+                       help="run the HTTP publication server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 picks a free one; default 8080)")
+    p.add_argument("--mode", choices=["exact", "fast"], default="exact",
+                   help="batch-engine mode for served queries")
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="result-cache capacity in entries (0 disables)")
+    p.add_argument("--batch-window-ms", type=float, default=1.0,
+                   help="micro-batch coalescing window (default 1 ms)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    p.set_defaults(func=_cmd_serve)
+
     p = sub.add_parser("experiment",
                        help="regenerate one of the paper's figures")
     p.add_argument("figure", choices=["fig4", "fig5", "fig6", "fig7",
@@ -178,12 +224,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors (message already on stderr)
+        # and 0 for --help; surface both as return codes.
+        return exc.code if isinstance(exc.code, int) else EXIT_USAGE
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ line of follow-up work and is out of scope for this reproduction.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Sequence
 
 import numpy as np
@@ -35,6 +36,7 @@ from repro.core.tables import AnatomizedTables
 from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.exceptions import ReproError, SchemaError
+from repro.perf import record, span
 
 
 class IncrementalAnatomizer:
@@ -76,6 +78,8 @@ class IncrementalAnatomizer:
         #: maintained incrementally).
         self._buffer: dict[int, list[tuple[int, ...]]] = {}
         self._buffered = 0
+        #: Cached (version, release) pair backing snapshot semantics.
+        self._release_cache: tuple[int, AnatomizedTables] | None = None
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -86,21 +90,24 @@ class IncrementalAnatomizer:
 
         Returns the number of new groups sealed by this batch.
         """
-        width = len(self.schema.attributes)
-        for row in rows:
-            row = tuple(int(v) for v in row)
-            if len(row) != width:
-                raise SchemaError(
-                    f"row has {len(row)} codes, schema expects {width}")
-            for code, attr in zip(row, self.schema.attributes):
-                if not 0 <= code < attr.size:
+        rows = list(rows)
+        with span("incremental.ingest", rows=len(rows)):
+            width = len(self.schema.attributes)
+            for row in rows:
+                row = tuple(int(v) for v in row)
+                if len(row) != width:
                     raise SchemaError(
-                        f"code {code} out of domain for "
-                        f"{attr.name!r}")
-            sens = row[-1]
-            self._buffer.setdefault(sens, []).append(row)
-            self._buffered += 1
-        return self._drain_buffer()
+                        f"row has {len(row)} codes, schema expects "
+                        f"{width}")
+                for code, attr in zip(row, self.schema.attributes):
+                    if not 0 <= code < attr.size:
+                        raise SchemaError(
+                            f"code {code} out of domain for "
+                            f"{attr.name!r}")
+                sens = row[-1]
+                self._buffer.setdefault(sens, []).append(row)
+                self._buffered += 1
+            return self._drain_buffer()
 
     def insert_rows(self, rows: Iterable[Sequence[object]]) -> int:
         """Insert rows given as decoded values."""
@@ -124,6 +131,7 @@ class IncrementalAnatomizer:
     def _drain_buffer(self) -> int:
         """Seal as many all-distinct groups of l tuples as the buffer
         allows (the group-creation step restricted to the buffer)."""
+        start = time.perf_counter()
         sealed = 0
         while True:
             nonempty = [c for c, rows in self._buffer.items() if rows]
@@ -141,11 +149,25 @@ class IncrementalAnatomizer:
             self._groups.append(group)
             self._buffered -= self.l
             sealed += 1
+        if sealed:
+            record("incremental.seal", time.perf_counter() - start,
+                   sealed=sealed)
         return sealed
 
     # ------------------------------------------------------------------ #
     # state
     # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing release version.
+
+        The version equals the number of sealed groups, so it bumps
+        exactly when the release changes and, because groups are
+        immutable and append-only, the release at version ``v`` is
+        always the first ``v`` groups (see :meth:`publish`).
+        """
+        return len(self._groups)
 
     @property
     def published_tuple_count(self) -> int:
@@ -168,24 +190,37 @@ class IncrementalAnatomizer:
     # publication
     # ------------------------------------------------------------------ #
 
-    def publish(self) -> AnatomizedTables:
-        """The current release: all sealed groups as QIT/ST.
+    def publish(self, at_version: int | None = None) -> AnatomizedTables:
+        """The release at ``at_version`` (default: current) as QIT/ST.
 
         Group-IDs are stable across successive calls — group ``j`` in
         one release is group ``j`` in every later release, with
-        identical membership.
+        identical membership — so the release at version ``v`` is the
+        first ``v`` sealed groups.  Repeated calls are side-effect-free
+        snapshots: the current release is built once per version and
+        the same (immutable) object is returned until new groups seal.
         """
-        if not self._groups:
+        version = self.version if at_version is None else int(at_version)
+        if not 1 <= version <= len(self._groups):
             raise ReproError(
                 "nothing to publish yet: fewer than l distinct "
-                "sensitive values have arrived")
-        rows = [row for group in self._groups for row in group]
+                "sensitive values have arrived"
+                if not self._groups else
+                f"no release at version {version}; current version is "
+                f"{self.version}")
+        cached = self._release_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        rows = [row for group in self._groups[:version] for row in group]
         codes = np.asarray(rows, dtype=np.int32)
         table = Table.from_codes(self.schema, codes)
         groups = [range(j * self.l, (j + 1) * self.l)
-                  for j in range(len(self._groups))]
+                  for j in range(version)]
         partition = Partition(table, groups, validate=False)
-        return AnatomizedTables.from_partition(partition)
+        release = AnatomizedTables.from_partition(partition)
+        if at_version is None or version == self.version:
+            self._release_cache = (version, release)
+        return release
 
     def flush_report(self) -> dict[str, int]:
         """Why the buffered tuples cannot be sealed yet: per sensitive

@@ -60,3 +60,12 @@ class StorageError(ReproError):
 
 class QueryError(ReproError):
     """A query is malformed with respect to the table it targets."""
+
+
+class ServiceError(ReproError):
+    """The publication service was misused.
+
+    Examples: creating a publication under a name that already exists,
+    querying or ingesting into an unknown publication, or submitting
+    work to a frontend that has been closed.
+    """

@@ -25,6 +25,7 @@ min / max seconds) so ``repro.perf.check`` can diff two runs.
 from __future__ import annotations
 
 import json
+import os
 import time
 from contextlib import contextmanager
 
@@ -82,7 +83,10 @@ class PerfRecorder:
         }
 
     def write(self, path: str) -> str:
-        """Write the summary as JSON; returns ``path``."""
+        """Write the summary as JSON, creating the parent directory if
+        missing; returns ``path``."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.summary(), fh, indent=2, sort_keys=True)
             fh.write("\n")

@@ -59,6 +59,7 @@ from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.exceptions import QueryError
 from repro.generalization.generalized_table import GeneralizedTable
+from repro.perf import span
 from repro.query.predicates import CountQuery
 
 #: Queries evaluated per chunk.  A multiple of 8 so chunks stay
@@ -424,4 +425,6 @@ class BatchEvaluator:
                     f"estimator schema {self._index.schema!r}")
         else:
             encoding = self.encode(queries)
-        return self._index.evaluate(encoding, mode=mode)
+        with span("query.batch.evaluate", queries=encoding.n_queries,
+                  mode=mode, index=type(self._index).__name__):
+            return self._index.evaluate(encoding, mode=mode)

@@ -1,0 +1,50 @@
+"""Concurrent serving of anatomized publications.
+
+The serving layer turns the one-shot anatomize/query workflow into a
+living system (the ROADMAP's north star):
+
+* :mod:`repro.service.registry` — named, versioned publications, each
+  wrapping an :class:`~repro.core.incremental.IncrementalAnatomizer`
+  behind a reader-writer lock; ingesting seals new immutable groups
+  and bumps the version.
+* :mod:`repro.service.frontend` — concurrent COUNT queries, coalesced
+  into micro-batches for the vectorized batch engine, answered from an
+  LRU result cache keyed by ``(publication, version, fingerprint)``.
+* :mod:`repro.service.http` — a stdlib-only HTTP JSON API
+  (``python -m repro serve``) with ``/metrics`` backed by
+  :mod:`repro.perf` span aggregates.
+* :mod:`repro.service.cache` / :mod:`repro.service.locks` — the
+  supporting LRU cache and reader-writer lock.
+"""
+
+from repro.service.cache import LRUCache, query_fingerprint
+from repro.service.frontend import QueryAnswer, QueryFrontend
+from repro.service.http import (
+    ReproHTTPServer,
+    ReproService,
+    make_server,
+)
+from repro.service.locks import RWLock
+from repro.service.registry import (
+    Publication,
+    PublicationRegistry,
+    PublicationSnapshot,
+    schema_from_json,
+    schema_to_json,
+)
+
+__all__ = [
+    "LRUCache",
+    "Publication",
+    "PublicationRegistry",
+    "PublicationSnapshot",
+    "QueryAnswer",
+    "QueryFrontend",
+    "ReproHTTPServer",
+    "ReproService",
+    "RWLock",
+    "make_server",
+    "query_fingerprint",
+    "schema_from_json",
+    "schema_to_json",
+]

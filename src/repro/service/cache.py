@@ -1,0 +1,114 @@
+"""Query-result cache: bounded LRU keyed by publication version.
+
+Cache keys are ``(publication, version, fingerprint)`` where the
+fingerprint canonically identifies a :class:`~repro.query.predicates.
+CountQuery` (same accepted code sets => same fingerprint, regardless of
+construction order).  Because the version is part of the key, ingesting
+new microdata — which bumps the publication version — invalidates every
+cached answer *by construction*: stale entries are never served, they
+simply age out of the LRU.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.query.predicates import CountQuery
+
+
+def query_fingerprint(query: CountQuery) -> str:
+    """A stable, canonical identifier of a COUNT query's predicate.
+
+    Two queries over the same schema get equal fingerprints iff they
+    accept the same code sets per attribute.  The digest is stable
+    across processes, so fingerprints can be logged, compared, and used
+    as HTTP cache keys.
+
+    Examples
+    --------
+    >>> from repro.dataset.hospital import hospital_schema
+    >>> schema = hospital_schema()
+    >>> a = CountQuery(schema, {"Age": [0, 1]}, [2])
+    >>> b = CountQuery(schema, {"Age": [1, 0]}, [2])
+    >>> query_fingerprint(a) == query_fingerprint(b)
+    True
+    """
+    parts = []
+    for name, codes in sorted(query.qi_predicates.items()):
+        parts.append(f"{name}={','.join(map(str, sorted(codes)))}")
+    parts.append(
+        f"@sens={','.join(map(str, sorted(query.sensitive_values)))}")
+    payload = ";".join(parts).encode("ascii")
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+class LRUCache:
+    """A thread-safe bounded LRU map with hit/miss/eviction counters.
+
+    ``capacity=0`` disables caching entirely (every ``get`` misses and
+    ``put`` is a no-op) — benchmarks use that to measure the uncached
+    hot path.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counters since construction (entries is the current size)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._data),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"LRUCache(capacity={s['capacity']}, "
+                f"entries={s['entries']}, hits={s['hits']}, "
+                f"misses={s['misses']})")

@@ -1,0 +1,335 @@
+"""Stdlib-only HTTP JSON API over the publication service.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, no dependencies — in front of the thread-safe registry and
+frontend.  Endpoints (all bodies JSON):
+
+* ``GET  /publications`` — list publications with statistics.
+* ``POST /publications`` — create: ``{"name", "l", "schema", "seed"?}``
+  with the schema spec of
+  :func:`repro.service.registry.schema_from_json`.
+* ``GET  /publications/<name>`` — one publication's statistics.
+* ``DELETE /publications/<name>`` — drop it.
+* ``POST /publications/<name>/ingest`` — ``{"rows": [[...], ...],
+  "decoded"?: bool}``; rows are code tuples unless ``decoded``.
+* ``GET/POST /publications/<name>/publish`` — current release summary;
+  ``{"include_tables": true}`` (or ``?include_tables=1``) inlines the
+  QIT/ST rows, decoded.
+* ``POST /publications/<name>/query`` — a single query ``{"qi":
+  {attr: [codes]}, "sensitive": [codes]}`` (micro-batch coalescing
+  path) or a workload ``{"queries": [...]}`` (direct batch path).
+  Each answer reports the version it is exact for and whether it came
+  from the result cache.
+* ``GET  /metrics`` — the service recorder's per-span aggregates
+  (:meth:`repro.perf.PerfRecorder.totals`) plus cache statistics.
+
+Error mapping: malformed requests and ``ReproError`` subclasses are
+400, unknown publications/paths 404, duplicate creation 409.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.exceptions import ReproError, ServiceError
+from repro.perf import PerfRecorder, set_recorder
+from repro.query.predicates import CountQuery
+from repro.service.frontend import QueryFrontend
+from repro.service.registry import (
+    PublicationRegistry,
+    schema_from_json,
+    schema_to_json,
+)
+
+#: Request bodies larger than this are rejected outright (16 MiB).
+MAX_BODY_BYTES = 16 << 20
+
+_UNSET = object()
+
+
+class ReproService:
+    """Bundles registry, frontend, and a perf recorder for serving."""
+
+    def __init__(self, *, mode: str = "exact", cache_size: int = 4096,
+                 batch_window_s: float = 0.001,
+                 recorder: PerfRecorder | None = None) -> None:
+        self.registry = PublicationRegistry()
+        self.frontend = QueryFrontend(
+            self.registry, cache_size=cache_size,
+            batch_window_s=batch_window_s, mode=mode)
+        self.recorder = recorder if recorder is not None \
+            else PerfRecorder(role="repro.service")
+        self._previous_recorder: object = _UNSET
+        self._lock = threading.Lock()
+
+    def install_recorder(self) -> None:
+        """Route the global ``span`` hooks to this service's recorder
+        (so ``/metrics`` sees ingest/seal/query-batch spans)."""
+        with self._lock:
+            if self._previous_recorder is _UNSET:
+                self._previous_recorder = set_recorder(self.recorder)
+
+    def restore_recorder(self) -> None:
+        with self._lock:
+            if self._previous_recorder is not _UNSET:
+                set_recorder(self._previous_recorder)  # type: ignore[arg-type]
+                self._previous_recorder = _UNSET
+
+    def metrics(self) -> dict:
+        return {
+            "spans": self.recorder.totals(),
+            "cache": self.frontend.cache_stats(),
+            "publications": self.registry.stats(),
+        }
+
+    def close(self) -> None:
+        self.frontend.close()
+        self.restore_recorder()
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _publication_payload(service: ReproService, name: str,
+                         include_tables: bool) -> dict:
+    publication = service.registry.get(name)
+    snapshot = publication.snapshot()
+    payload = publication.stats()
+    if snapshot.release is None:
+        payload["release"] = None
+        return payload
+    release = snapshot.release
+    payload["release"] = {
+        "version": snapshot.version,
+        "groups": release.st.group_count(),
+        "tuples": release.n,
+        "breach_probability_bound":
+            release.breach_probability_bound(),
+    }
+    if include_tables:
+        qit = release.qit
+        payload["release"]["qit"] = [
+            list(qit.decode_row(i)) for i in range(qit.n)]
+        payload["release"]["st"] = [
+            list(release.st.decode_record(i))
+            for i in range(len(release.st))]
+    return payload
+
+
+def _parse_query(schema, spec: dict) -> CountQuery:
+    if not isinstance(spec, dict):
+        raise _HTTPError(400, f"query spec must be an object, got "
+                              f"{spec!r}")
+    qi = spec.get("qi", {})
+    sensitive = spec.get("sensitive")
+    if sensitive is None:
+        raise _HTTPError(400, "query spec needs 'sensitive' codes")
+    if spec.get("decoded"):
+        qi = {name: [schema.attribute(name).encode(v) for v in values]
+              for name, values in qi.items()}
+        sensitive = [schema.sensitive.encode(v) for v in sensitive]
+    return CountQuery(schema, qi, sensitive)
+
+
+class ReproRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the owning server's :class:`ReproService`."""
+
+    server: "ReproHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise _HTTPError(400, f"request body exceeds "
+                                  f"{MAX_BODY_BYTES} bytes")
+        if length == 0:
+            return {}
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HTTPError(400, f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "JSON body must be an object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        service = self.server.service
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query_string = parse_qs(parsed.query)
+        try:
+            status, payload = self._route(service, method, parts,
+                                          query_string)
+        except _HTTPError as exc:
+            self._send_json(exc.status, {"error": str(exc)})
+        except ServiceError as exc:
+            status = 404 if "unknown publication" in str(exc) else 409
+            self._send_json(status, {"error": str(exc)})
+        except ReproError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"internal error: {exc}"})
+        else:
+            self._send_json(status, payload)
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+
+    def _route(self, service: ReproService, method: str,
+               parts: list[str],
+               query_string: dict) -> tuple[int, dict]:
+        if parts == ["metrics"] and method == "GET":
+            return 200, service.metrics()
+        if parts == ["healthz"] and method == "GET":
+            return 200, {"status": "ok",
+                         "publications": len(service.registry)}
+        if not parts or parts[0] != "publications":
+            raise _HTTPError(404, f"no route for {method} {self.path}")
+        if len(parts) == 1:
+            if method == "GET":
+                return 200, {"publications": service.registry.stats()}
+            if method == "POST":
+                return self._create_publication(service)
+            raise _HTTPError(404, f"no route for {method} {self.path}")
+        name = parts[1]
+        if len(parts) == 2:
+            if method == "GET":
+                return 200, service.registry.get(name).stats()
+            if method == "DELETE":
+                service.registry.drop(name)
+                return 200, {"dropped": name}
+            raise _HTTPError(404, f"no route for {method} {self.path}")
+        if len(parts) == 3:
+            action = parts[2]
+            if action == "ingest" and method == "POST":
+                return self._ingest(service, name)
+            if action == "publish" and method in ("GET", "POST"):
+                return self._publish(service, name, method, query_string)
+            if action == "query" and method == "POST":
+                return self._query(service, name)
+            if action == "stats" and method == "GET":
+                return 200, service.registry.get(name).stats()
+        raise _HTTPError(404, f"no route for {method} {self.path}")
+
+    def _create_publication(self,
+                            service: ReproService) -> tuple[int, dict]:
+        body = self._read_body()
+        name = body.get("name")
+        l = body.get("l")
+        schema_spec = body.get("schema")
+        if not name or not isinstance(name, str):
+            raise _HTTPError(400, "create needs a non-empty 'name'")
+        if not isinstance(l, int) or l < 1:
+            raise _HTTPError(400, "create needs an integer 'l' >= 1")
+        if schema_spec is None:
+            raise _HTTPError(400, "create needs a 'schema' spec")
+        schema = schema_from_json(schema_spec)
+        publication = service.registry.create(
+            name, schema, l, seed=body.get("seed", 0))
+        payload = publication.stats()
+        payload["schema"] = schema_to_json(schema)
+        return 201, payload
+
+    def _ingest(self, service: ReproService,
+                name: str) -> tuple[int, dict]:
+        body = self._read_body()
+        rows = body.get("rows")
+        if not isinstance(rows, list):
+            raise _HTTPError(400, "ingest needs 'rows': a list of rows")
+        publication = service.registry.get(name)
+        result = publication.ingest(rows,
+                                    decoded=bool(body.get("decoded")))
+        return 200, result
+
+    def _publish(self, service: ReproService, name: str, method: str,
+                 query_string: dict) -> tuple[int, dict]:
+        include = query_string.get("include_tables", ["0"])[0] \
+            not in ("0", "", "false")
+        if method == "POST":
+            include = bool(self._read_body().get("include_tables",
+                                                 include))
+        return 200, _publication_payload(service, name, include)
+
+    def _query(self, service: ReproService,
+               name: str) -> tuple[int, dict]:
+        body = self._read_body()
+        schema = service.registry.get(name).schema
+        if "queries" in body:
+            specs = body["queries"]
+            if not isinstance(specs, list) or not specs:
+                raise _HTTPError(400, "'queries' must be a non-empty "
+                                      "list of query specs")
+            queries = [_parse_query(schema, s) for s in specs]
+            answers = service.frontend.query_batch(name, queries)
+            return 200, {
+                "publication": name,
+                "answers": [a.to_json() for a in answers],
+            }
+        answer = service.frontend.query(name,
+                                        _parse_query(schema, body))
+        payload = answer.to_json()
+        payload["publication"] = name
+        return 200, payload
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server owning a :class:`ReproService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: ReproService,
+                 *, verbose: bool = False) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__(address, ReproRequestHandler)
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.service.close()
+
+
+def make_server(service: ReproService | None = None,
+                host: str = "127.0.0.1", port: int = 0, *,
+                verbose: bool = False,
+                install_recorder: bool = True) -> ReproHTTPServer:
+    """Bind a server (``port=0`` picks a free port; see
+    ``server.server_address``).  Call ``serve_forever`` to run it and
+    ``shutdown`` + ``server_close`` to stop."""
+    if service is None:
+        service = ReproService()
+    server = ReproHTTPServer((host, port), service, verbose=verbose)
+    if install_recorder:
+        service.install_recorder()
+    return server

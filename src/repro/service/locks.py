@@ -1,0 +1,90 @@
+"""A writer-preferring reader-writer lock for publication state.
+
+The serving workload is read-heavy: many concurrent queries take
+snapshots of a publication while occasional ingest calls seal new
+groups.  A plain mutex would serialize queries; this lock lets any
+number of snapshot readers proceed together while giving waiting
+writers priority, so a steady query stream cannot starve ingestion.
+
+Nothing here is service-specific, but the module lives under
+:mod:`repro.service` because the server is its only client; the rest of
+the library is single-threaded by design.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Many concurrent readers or one writer; waiting writers have
+    priority over newly arriving readers.
+
+    Neither side is reentrant: a thread must not acquire the lock again
+    (in either mode) while holding it.
+
+    Examples
+    --------
+    >>> lock = RWLock()
+    >>> with lock.read_locked():
+    ...     pass
+    >>> with lock.write_locked():
+    ...     pass
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        """Context manager holding the lock in shared (read) mode."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """Context manager holding the lock in exclusive (write) mode."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        return (f"RWLock(readers={self._readers}, "
+                f"writer_active={self._writer_active}, "
+                f"writers_waiting={self._writers_waiting})")

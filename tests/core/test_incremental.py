@@ -120,6 +120,63 @@ class TestPublication:
         assert report["needed_distinct_values"] == 5
 
 
+class TestVersioning:
+    def test_version_starts_at_zero_and_tracks_groups(self, schema):
+        inc = IncrementalAnatomizer(schema, l=3)
+        assert inc.version == 0
+        inc.insert_codes(rows_for(schema, [0, 1]))
+        assert inc.version == 0  # buffered only, release unchanged
+        inc.insert_codes(rows_for(schema, [2]))
+        assert inc.version == 1 == inc.group_count
+
+    def test_version_monotonic_across_inserts(self, schema):
+        rng = np.random.default_rng(3)
+        inc = IncrementalAnatomizer(schema, l=4)
+        seen = [inc.version]
+        for _ in range(10):
+            inc.insert_codes(rows_for(schema,
+                                      list(rng.integers(0, 20, 25))))
+            seen.append(inc.version)
+        assert seen == sorted(seen)
+        assert seen[-1] == inc.group_count
+
+    def test_publish_is_cached_snapshot_per_version(self, schema):
+        inc = IncrementalAnatomizer(schema, l=3)
+        inc.insert_codes(rows_for(schema, [0, 1, 2, 3, 4, 5]))
+        first = inc.publish()
+        assert inc.publish() is first  # side-effect-free repeat
+        inc.insert_codes(rows_for(schema, [6, 7, 8]))
+        second = inc.publish()
+        assert second is not first
+        assert second.st.group_count() > first.st.group_count()
+        # the old snapshot object is untouched by the new release
+        assert first.st.group_count() == 2
+
+    def test_publish_at_historical_version(self, schema):
+        rng = np.random.default_rng(4)
+        inc = IncrementalAnatomizer(schema, l=3)
+        inc.insert_codes(rows_for(schema,
+                                  list(rng.integers(0, 20, 60))))
+        v1 = inc.version
+        release_v1 = inc.publish()
+        inc.insert_codes(rows_for(schema,
+                                  list(rng.integers(0, 20, 60))))
+        historical = inc.publish(at_version=v1)
+        assert historical.st.group_count() == v1
+        for gid in range(1, v1 + 1):
+            assert historical.st.group_histogram(gid) \
+                == release_v1.st.group_histogram(gid)
+        # current-version publish still reflects every sealed group
+        assert inc.publish().st.group_count() == inc.version
+
+    def test_publish_at_bad_version_raises(self, schema):
+        inc = IncrementalAnatomizer(schema, l=3)
+        inc.insert_codes(rows_for(schema, [0, 1, 2]))
+        for bad in (0, -1, inc.version + 1):
+            with pytest.raises(ReproError):
+                inc.publish(at_version=bad)
+
+
 class TestEquivalenceWithBatch:
     def test_same_privacy_as_batch_anatomize(self, occ3):
         """Streaming the whole census view yields the same guarantee

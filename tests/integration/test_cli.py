@@ -1,8 +1,17 @@
 """Integration tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_FAILURE, EXIT_USAGE, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 @pytest.fixture()
@@ -98,6 +107,77 @@ class TestAttack:
         rc = main(["attack", str(microdata_csv), str(qit), str(st),
                    "nope", "F", "Education:0"])
         assert rc == 1
+
+
+class TestExitCodes:
+    def test_usage_errors_return_two(self, capsys):
+        assert main(["no-such-command"]) == EXIT_USAGE
+        assert main([]) == EXIT_USAGE
+        capsys.readouterr()  # argparse wrote usage to stderr
+
+    def test_help_returns_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_repro_error_returns_one(self, microdata_csv, tmp_path,
+                                     capsys):
+        rc = main(["anatomize", str(microdata_csv),
+                   str(tmp_path / "q.csv"), str(tmp_path / "s.csv"),
+                   "--l", "4000"])
+        assert rc == EXIT_FAILURE
+        assert "error" in capsys.readouterr().err
+        assert EXIT_FAILURE != EXIT_USAGE
+
+
+class TestServe:
+    def test_serve_smoke_over_http(self):
+        """Start ``python -m repro serve``, create/ingest/query over
+        HTTP, then shut the process down."""
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            line = process.stdout.readline()
+            assert line.startswith("serving on http://"), line
+            base = line.split()[-1].strip()
+
+            def call(method, path, body=None):
+                data = json.dumps(body).encode() if body is not None \
+                    else None
+                request = urllib.request.Request(
+                    base + path, data=data, method=method,
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(request, timeout=30) as r:
+                    return r.status, json.loads(r.read())
+
+            status, _ = call("POST", "/publications", {
+                "name": "smoke", "l": 2,
+                "schema": {"qi": [{"name": "A", "size": 10}],
+                           "sensitive": {"name": "S", "size": 5}}})
+            assert status == 201
+            status, result = call(
+                "POST", "/publications/smoke/ingest",
+                {"rows": [[i % 10, i % 5] for i in range(10)]})
+            assert status == 200 and result["sealed_groups"] > 0
+            status, answer = call(
+                "POST", "/publications/smoke/query",
+                {"qi": {"A": [0, 1, 2]}, "sensitive": [0, 1]})
+            assert status == 200 and answer["version"] > 0
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+
+    def test_serve_rejects_bad_mode(self, capsys):
+        assert main(["serve", "--mode", "sloppy"]) == EXIT_USAGE
+        capsys.readouterr()
 
 
 class TestExperimentCommand:

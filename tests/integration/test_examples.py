@@ -21,6 +21,7 @@ CASES = [
     ("multi_sensitive_demo.py", ["2000", "6"]),
     ("mining_utility.py", ["4000", "3", "8"]),
     ("incremental_publication.py", ["3", "400", "8"]),
+    ("serve_demo.py", ["3", "120"]),
 ]
 
 

@@ -1,0 +1,64 @@
+"""Unit tests for the perf recorder and library span coverage."""
+
+import json
+
+import pytest
+
+from repro.core.incremental import IncrementalAnatomizer
+from repro.dataset.schema import Attribute, Schema
+from repro.perf import PerfRecorder, active_recorder, set_recorder, span
+
+
+@pytest.fixture()
+def recorder():
+    recorder = PerfRecorder(scale="test")
+    previous = set_recorder(recorder)
+    yield recorder
+    set_recorder(previous)
+
+
+class TestPerfRecorder:
+    def test_write_creates_missing_parent_directories(self, tmp_path):
+        recorder = PerfRecorder()
+        recorder.record("x", 0.5)
+        path = tmp_path / "deeply" / "nested" / "summary.json"
+        assert recorder.write(str(path)) == str(path)
+        document = json.loads(path.read_text())
+        assert document["spans"]["x"]["count"] == 1
+
+    def test_write_into_existing_directory_still_works(self, tmp_path):
+        recorder = PerfRecorder()
+        path = tmp_path / "summary.json"
+        recorder.write(str(path))
+        assert path.exists()
+
+    def test_span_noop_without_recorder(self):
+        assert active_recorder() is None
+        with span("anything"):  # must not raise, must not record
+            pass
+
+
+class TestIncrementalSpans:
+    def test_ingest_and_seal_paths_are_instrumented(self, recorder):
+        schema = Schema([Attribute("A", range(50))],
+                        Attribute("S", range(20)))
+        inc = IncrementalAnatomizer(schema, l=3)
+        inc.insert_codes([(i, i % 20) for i in range(30)])
+        totals = recorder.totals()
+        assert totals["incremental.ingest"]["count"] == 1
+        assert totals["incremental.seal"]["count"] == 1
+        ingest_entry = [e for e in recorder.entries
+                        if e["name"] == "incremental.ingest"][0]
+        assert ingest_entry["info"]["rows"] == 30
+        seal_entry = [e for e in recorder.entries
+                      if e["name"] == "incremental.seal"][0]
+        assert seal_entry["info"]["sealed"] == inc.group_count > 0
+
+    def test_no_seal_span_when_nothing_seals(self, recorder):
+        schema = Schema([Attribute("A", range(50))],
+                        Attribute("S", range(20)))
+        inc = IncrementalAnatomizer(schema, l=5)
+        inc.insert_codes([(0, 0), (1, 1)])  # buffers, seals nothing
+        totals = recorder.totals()
+        assert totals["incremental.ingest"]["count"] == 1
+        assert "incremental.seal" not in totals

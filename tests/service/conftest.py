@@ -1,0 +1,20 @@
+"""Shared fixtures for the serving-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.schema import Attribute, Schema
+
+
+@pytest.fixture()
+def schema():
+    """A compact schema: one 50-value QI, 20 sensitive values."""
+    return Schema([Attribute("A", range(50))],
+                  Attribute("S", range(20)))
+
+
+def make_rows(count, *, start=0, sens_stride=1):
+    """Deterministic rows cycling through QI and sensitive domains."""
+    return [((start + i) * 7 % 50, (start + i) * sens_stride % 20)
+            for i in range(count)]

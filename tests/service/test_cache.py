@@ -1,0 +1,77 @@
+"""Unit tests for the LRU result cache and query fingerprints."""
+
+import pytest
+
+from repro.query.predicates import CountQuery
+from repro.service.cache import LRUCache, query_fingerprint
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("k", 1.5)
+        assert cache.get("k") == 1.5
+        assert cache.get("missing") is None
+        assert cache.get("missing", -1) == -1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # touch a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_stats_counters(self):
+        cache = LRUCache(1)
+        cache.get("x")
+        cache.put("x", 0.0)
+        cache.get("x")
+        cache.put("y", 1.0)  # evicts x
+        stats = cache.stats()
+        assert stats == {"capacity": 1, "entries": 1, "hits": 1,
+                         "misses": 1, "evictions": 1}
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("k", 1.0)
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put("k", 1)
+        cache.clear()
+        assert "k" not in cache
+
+
+class TestQueryFingerprint:
+    def test_equal_predicates_equal_fingerprint(self, schema):
+        a = CountQuery(schema, {"A": [3, 1, 2]}, [5, 4])
+        b = CountQuery(schema, {"A": [1, 2, 3]}, [4, 5])
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_different_predicates_differ(self, schema):
+        a = CountQuery(schema, {"A": [1, 2]}, [4])
+        b = CountQuery(schema, {"A": [1, 3]}, [4])
+        c = CountQuery(schema, {"A": [1, 2]}, [5])
+        fingerprints = {query_fingerprint(q) for q in (a, b, c)}
+        assert len(fingerprints) == 3
+
+    def test_unconstrained_differs_from_constrained(self, schema):
+        a = CountQuery(schema, {}, [4])
+        b = CountQuery(schema, {"A": list(range(50))}, [4])
+        assert query_fingerprint(a) != query_fingerprint(b)
+
+    def test_stable_hex_string(self, schema):
+        q = CountQuery(schema, {"A": [0]}, [0])
+        fingerprint = query_fingerprint(q)
+        assert isinstance(fingerprint, str)
+        assert fingerprint == query_fingerprint(
+            CountQuery(schema, {"A": [0]}, [0]))
+        int(fingerprint, 16)  # hex digest

@@ -1,0 +1,171 @@
+"""Unit tests for the micro-batching query frontend."""
+
+import pytest
+
+from repro.exceptions import QueryError, ServiceError
+from repro.perf import PerfRecorder, set_recorder
+from repro.query.predicates import CountQuery
+from repro.service.frontend import QueryFrontend
+from repro.service.registry import PublicationRegistry
+
+from tests.service.conftest import make_rows
+
+
+@pytest.fixture()
+def served(schema):
+    """A registry with one 100-row publication plus its frontend."""
+    registry = PublicationRegistry()
+    publication = registry.create("p", schema, l=4)
+    publication.ingest(make_rows(100))
+    frontend = QueryFrontend(registry, batch_window_s=0.0005)
+    yield registry, publication, frontend
+    frontend.close()
+
+
+@pytest.fixture()
+def recorder():
+    recorder = PerfRecorder()
+    previous = set_recorder(recorder)
+    yield recorder
+    set_recorder(previous)
+
+
+def query_pool(schema, count):
+    """Distinct single-attribute queries (distinct fingerprints)."""
+    return [CountQuery(schema, {"A": [(i * 3) % 50, (i * 3 + 1) % 50]},
+                       [i % 20, (i + 1) % 20])
+            for i in range(count)]
+
+
+class TestSingleQueries:
+    def test_answer_matches_per_query_estimator(self, served, schema):
+        registry, publication, frontend = served
+        query = CountQuery(schema, {"A": range(20)}, [0, 1, 2, 3])
+        answer = frontend.query("p", query)
+        expected = publication.snapshot().estimator.estimate(query)
+        assert answer.answer == expected
+        assert answer.version == publication.version
+        assert not answer.cached
+
+    def test_second_identical_query_hits_cache(self, served, schema):
+        _, _, frontend = served
+        query = CountQuery(schema, {"A": [1, 2, 3]}, [0, 1])
+        first = frontend.query("p", query)
+        second = frontend.query("p", query)
+        assert not first.cached and second.cached
+        assert second.answer == first.answer
+        assert frontend.cache_stats()["hits"] >= 1
+
+    def test_ingest_invalidates_cached_answers(self, served, schema):
+        _, publication, frontend = served
+        query = CountQuery(schema, {"A": range(50)}, list(range(20)))
+        before = frontend.query("p", query)
+        assert frontend.query("p", query).cached
+        publication.ingest(make_rows(100, start=100))
+        after = frontend.query("p", query)
+        assert not after.cached  # version key changed
+        assert after.version > before.version
+        # the unconstrained COUNT grows with the release
+        assert after.answer > before.answer
+
+    def test_empty_publication_answers_zero(self, schema):
+        registry = PublicationRegistry()
+        registry.create("empty", schema, l=5)
+        with QueryFrontend(registry) as frontend:
+            answer = frontend.query(
+                "empty", CountQuery(schema, {"A": [0]}, [0]))
+        assert answer.answer == 0.0 and answer.version == 0
+
+    def test_unknown_publication_rejected(self, served, schema):
+        _, _, frontend = served
+        with pytest.raises(ServiceError, match="unknown publication"):
+            frontend.query("nope", CountQuery(schema, {"A": [0]}, [0]))
+
+    def test_schema_mismatch_rejected(self, served):
+        from repro.dataset.hospital import hospital_schema
+        _, _, frontend = served
+        other = CountQuery(hospital_schema(), {}, [0])
+        with pytest.raises(QueryError, match="does not match"):
+            frontend.query("p", other)
+
+    def test_submit_after_close_rejected(self, schema):
+        registry = PublicationRegistry()
+        registry.create("p", schema, l=4)
+        frontend = QueryFrontend(registry)
+        frontend.close()
+        with pytest.raises(ServiceError, match="closed"):
+            frontend.submit("p", CountQuery(schema, {"A": [0]}, [0]))
+
+
+class TestBatchPath:
+    def test_batch_matches_singles(self, served, schema):
+        _, publication, frontend = served
+        queries = query_pool(schema, 32)
+        answers = frontend.query_batch("p", queries)
+        estimator = publication.snapshot().estimator
+        for query, answer in zip(queries, answers):
+            assert answer.answer == estimator.estimate(query)
+            assert not answer.cached
+
+    def test_large_batch_goes_through_batch_engine(self, served, schema,
+                                                   recorder):
+        _, _, frontend = served
+        queries = query_pool(schema, 128)
+        frontend.query_batch("p", queries)
+        totals = recorder.totals()
+        # one micro-batch of 128 through the vectorized engine, not a
+        # per-query loop
+        assert totals["service.query.batch"]["count"] == 1
+        assert totals["query.batch.evaluate"]["count"] == 1
+        entry = [e for e in recorder.entries
+                 if e["name"] == "service.query.batch"][0]
+        assert entry["info"]["queries"] == 128
+
+    def test_batch_serves_cached_entries_without_reevaluating(
+            self, served, schema, recorder):
+        _, _, frontend = served
+        queries = query_pool(schema, 20)
+        frontend.query_batch("p", queries)
+        again = frontend.query_batch("p", queries + query_pool(
+            schema, 40)[20:])
+        assert all(a.cached for a in again[:20])
+        assert not any(a.cached for a in again[20:])
+        entries = [e for e in recorder.entries
+                   if e["name"] == "service.query.batch"]
+        # second call evaluated only the 20 misses
+        assert entries[-1]["info"]["queries"] == 20
+
+    def test_fast_mode_close_to_exact(self, served, schema):
+        registry, publication, _ = served
+        fast = QueryFrontend(registry, mode="fast", cache_size=0)
+        try:
+            queries = query_pool(schema, 64)
+            exact = publication.snapshot().estimator.estimate_workload(
+                queries)
+            answers = fast.query_batch("p", queries)
+            for expected, answer in zip(exact, answers):
+                assert answer.answer == pytest.approx(expected,
+                                                      rel=1e-9, abs=1e-9)
+        finally:
+            fast.close()
+
+    def test_invalid_mode_rejected(self, schema):
+        with pytest.raises(QueryError, match="unknown serving mode"):
+            QueryFrontend(PublicationRegistry(), mode="approximate")
+
+
+class TestCoalescing:
+    def test_submits_within_window_coalesce(self, served, schema,
+                                            recorder):
+        _, _, frontend = served
+        frontend.batch_window_s = 0.05  # widen to make the test robust
+        queries = query_pool(schema, 40)
+        futures = [frontend.submit("p", q) for q in queries]
+        answers = [f.result(timeout=10) for f in futures]
+        assert all(not a.cached for a in answers)
+        entries = [e for e in recorder.entries
+                   if e["name"] == "service.query.batch"]
+        # far fewer engine passes than queries, and at least one real
+        # micro-batch
+        assert len(entries) < len(queries)
+        assert max(e["info"]["queries"] for e in entries) > 1

@@ -1,0 +1,185 @@
+"""End-to-end tests of the HTTP JSON API.
+
+Covers the PR's acceptance walk-through: create a publication over
+HTTP, ingest rows in two waves, check old Group-IDs are unchanged
+across versions, cached answers are invalidated on version bump, and a
+served micro-batch of >= 100 queries goes through the batch engine
+(asserted via the ``/metrics`` perf spans).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.http import ReproService, make_server
+
+from tests.service.conftest import make_rows
+
+SCHEMA_SPEC = {"qi": [{"name": "A", "size": 50}],
+               "sensitive": {"name": "S", "size": 20}}
+
+
+@pytest.fixture()
+def server():
+    service = ReproService(batch_window_s=0.0005)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture()
+def api(server):
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    def call(method, path, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            base + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    return call
+
+
+def create_publication(api, name="p", l=3):
+    status, payload = api("POST", "/publications", {
+        "name": name, "l": l, "schema": SCHEMA_SPEC})
+    assert status == 201, payload
+    return payload
+
+
+QUERY = {"qi": {"A": list(range(25))}, "sensitive": [0, 1, 2]}
+
+
+class TestLifecycle:
+    def test_create_list_stats_drop(self, api):
+        create_publication(api)
+        status, listing = api("GET", "/publications")
+        assert status == 200
+        assert [p["publication"] for p in listing["publications"]] \
+            == ["p"]
+        status, stats = api("GET", "/publications/p/stats")
+        assert status == 200 and stats["l"] == 3
+        status, payload = api("DELETE", "/publications/p")
+        assert status == 200 and payload == {"dropped": "p"}
+        assert api("GET", "/publications/p")[0] == 404
+
+    def test_healthz(self, api):
+        status, payload = api("GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+
+    def test_duplicate_create_conflicts(self, api):
+        create_publication(api)
+        status, payload = api("POST", "/publications", {
+            "name": "p", "l": 3, "schema": SCHEMA_SPEC})
+        assert status == 409 and "already exists" in payload["error"]
+
+    def test_malformed_requests_rejected(self, api):
+        assert api("POST", "/publications", {"name": "x"})[0] == 400
+        assert api("GET", "/nope")[0] == 404
+        assert api("POST", "/publications/ghost/ingest",
+                   {"rows": [[0, 0]]})[0] == 404
+        create_publication(api)
+        assert api("POST", "/publications/p/ingest", {})[0] == 400
+        assert api("POST", "/publications/p/query", {})[0] == 400
+        # out-of-domain code surfaces as a 400, not a 500
+        assert api("POST", "/publications/p/ingest",
+                   {"rows": [[999, 0]]})[0] == 400
+
+
+class TestEndToEnd:
+    def test_two_wave_ingest_with_cache_invalidation(self, api):
+        create_publication(api)
+
+        # wave 1
+        status, result = api("POST", "/publications/p/ingest",
+                             {"rows": make_rows(60)})
+        assert status == 200 and result["sealed_groups"] > 0
+        v1 = result["version"]
+
+        status, release1 = api(
+            "GET", "/publications/p/publish?include_tables=1")
+        assert status == 200
+        assert release1["release"]["version"] == v1
+
+        # query, then hit the cache
+        status, first = api("POST", "/publications/p/query", QUERY)
+        assert status == 200 and not first["cached"]
+        assert first["version"] == v1
+        status, second = api("POST", "/publications/p/query", QUERY)
+        assert second["cached"] and second["answer"] == first["answer"]
+
+        # wave 2: version bumps, old groups unchanged
+        status, result = api("POST", "/publications/p/ingest",
+                             {"rows": make_rows(60, start=60)})
+        v2 = result["version"]
+        assert v2 > v1
+
+        status, release2 = api(
+            "POST", "/publications/p/publish", {"include_tables": True})
+        assert release2["release"]["version"] == v2
+        st1 = release1["release"]["st"]
+        st2 = release2["release"]["st"]
+        assert st2[:len(st1)] == st1  # old ST records identical
+        qit1 = release1["release"]["qit"]
+        qit2 = release2["release"]["qit"]
+        assert qit2[:len(qit1)] == qit1  # old Group-IDs unchanged
+
+        # the version bump invalidated the cached answer by construction
+        status, third = api("POST", "/publications/p/query", QUERY)
+        assert not third["cached"] and third["version"] == v2
+
+    def test_micro_batch_served_through_batch_engine(self, api):
+        create_publication(api)
+        api("POST", "/publications/p/ingest", {"rows": make_rows(80)})
+        queries = [{"qi": {"A": [i % 50, (i + 1) % 50]},
+                    "sensitive": [i % 20]} for i in range(120)]
+        status, payload = api("POST", "/publications/p/query",
+                              {"queries": queries})
+        assert status == 200
+        assert len(payload["answers"]) == 120
+        versions = {a["version"] for a in payload["answers"]}
+        assert len(versions) == 1  # one snapshot for the whole batch
+
+        status, metrics = api("GET", "/metrics")
+        assert status == 200
+        spans = metrics["spans"]
+        # the whole workload went through repro.query.batch in one
+        # micro-batch, not a per-query loop
+        assert spans["service.query.batch"]["count"] == 1
+        assert spans["query.batch.evaluate"]["count"] == 1
+        assert spans["service.ingest"]["count"] == 1
+        assert metrics["cache"]["entries"] >= 100
+
+    def test_decoded_rows_and_queries(self, api):
+        create_publication(api)
+        # codes and decoded values coincide for integer range domains,
+        # but go through the encode path
+        status, result = api(
+            "POST", "/publications/p/ingest",
+            {"rows": make_rows(30), "decoded": True})
+        assert status == 200 and result["sealed_groups"] > 0
+        status, payload = api(
+            "POST", "/publications/p/query",
+            {"qi": {"A": [0, 1, 2]}, "sensitive": [0], "decoded": True})
+        assert status == 200 and payload["version"] > 0
+
+    def test_query_before_first_seal_answers_zero(self, api):
+        create_publication(api, l=10)
+        status, payload = api("POST", "/publications/p/query", QUERY)
+        assert status == 200
+        assert payload["answer"] == 0.0 and payload["version"] == 0
