@@ -81,6 +81,33 @@ def test_service_query_batch(benchmark, served, workload):
     assert not any(a.cached for a in answers)
 
 
+def test_service_query_instrumented(benchmark, served, workload):
+    """The same uncached workload with a live metrics registry: typed
+    metrics on the hot path must not meaningfully slow serving (the
+    ``service.query.batch`` span recorded here is held to the same 2x
+    gate as the uninstrumented run)."""
+    from repro.obs import metrics
+    from repro.obs.metrics import MetricsRegistry
+
+    _, publication, frontend = served
+    registry = MetricsRegistry()
+    previous = metrics.set_registry(registry)
+    try:
+        answers = benchmark(frontend.query_batch, "bench", workload)
+    finally:
+        metrics.set_registry(previous)
+    record("bench.service_query_instrumented",
+           benchmark.stats.stats.mean, queries=len(workload))
+    expected = publication.snapshot().estimator.estimate_workload(
+        workload)
+    assert np.array_equal(np.array([a.answer for a in answers]),
+                          expected)
+    # the registry saw the batch-engine evaluations
+    counted = registry.counter(
+        "repro_query_batch_queries_total").value()
+    assert counted >= len(workload)
+
+
 def test_service_query_cached(benchmark, served, workload, table,
                               bench_config):
     """Fully warmed cache: serving cost is pure lookup."""

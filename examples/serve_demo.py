@@ -75,7 +75,7 @@ def main() -> None:
     print(f"   {len(answers)} answers, all for version "
           f"{answers[0]['version']}")
 
-    metrics = call(base, "GET", "/metrics")
+    metrics = call(base, "GET", "/metrics?format=json")
     print("\n-- /metrics span aggregates")
     for name in sorted(metrics["spans"]):
         stats = metrics["spans"][name]
@@ -84,6 +84,13 @@ def main() -> None:
     cache = metrics["cache"]
     print(f"   cache: {cache['hits']} hits / {cache['misses']} misses "
           f"/ {cache['entries']} entries")
+
+    stats = call(base, "GET", "/stats")
+    audit = stats["publications"][0]["privacy_audit"]
+    print(f"   privacy audit (v{audit['audited_version']}): "
+          f"breach {audit['breach_probability']:.4f} <= "
+          f"{audit['breach_bound']:.4f} "
+          f"[{audit['method']}] -> {'OK' if audit['ok'] else 'FAIL'}")
 
     release = call(base, "GET",
                    "/publications/demo/publish")["release"]

@@ -117,13 +117,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.http import ReproService, make_server
 
     service = ReproService(mode=args.mode, cache_size=args.cache_size,
-                           batch_window_s=args.batch_window_ms / 1000.0)
+                           batch_window_s=args.batch_window_ms / 1000.0,
+                           trace=args.trace, log_json=args.log_json)
     server = make_server(service, host=args.host, port=args.port,
                          verbose=args.verbose)
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port}", flush=True)
     print(f"  mode={args.mode} cache_size={args.cache_size} "
-          f"batch_window={args.batch_window_ms:g} ms", flush=True)
+          f"batch_window={args.batch_window_ms:g} ms "
+          f"trace={'on' if args.trace else 'off'} "
+          f"log_json={'on' if args.log_json else 'off'}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -208,6 +211,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="micro-batch coalescing window (default 1 ms)")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request")
+    p.add_argument("--trace", action="store_true",
+                   help="record hierarchical trace spans for every "
+                        "request (see docs/OBSERVABILITY.md)")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit the request log as JSON lines with "
+                        "trace/span IDs attached")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("experiment",

@@ -65,6 +65,8 @@ from repro.core.diversity import check_eligibility
 from repro.core.partition import Partition
 from repro.dataset.table import Table
 from repro.exceptions import PartitionError
+from repro.obs import metrics
+from repro.perf import span
 
 
 class _BucketHeap:
@@ -324,5 +326,11 @@ def anatomize(table: Table, l: int, seed: int | None = 0,
     """
     from repro.core.tables import AnatomizedTables
 
-    partition = anatomize_partition(table, l, seed=seed, method=method)
-    return AnatomizedTables.from_partition(partition)
+    with span("core.anatomize", n=len(table), l=l, method=method):
+        partition = anatomize_partition(table, l, seed=seed,
+                                        method=method)
+        published = AnatomizedTables.from_partition(partition)
+    if metrics.enabled():
+        metrics.inc("repro_anatomize_total", method=method)
+        metrics.inc("repro_anatomize_tuples_total", len(table))
+    return published

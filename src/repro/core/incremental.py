@@ -36,6 +36,7 @@ from repro.core.tables import AnatomizedTables
 from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.exceptions import ReproError, SchemaError
+from repro.obs import metrics
 from repro.perf import record, span
 
 
@@ -107,7 +108,13 @@ class IncrementalAnatomizer:
                 sens = row[-1]
                 self._buffer.setdefault(sens, []).append(row)
                 self._buffered += 1
-            return self._drain_buffer()
+            sealed = self._drain_buffer()
+        if metrics.enabled():
+            metrics.inc("repro_incremental_rows_total", len(rows))
+            if sealed:
+                metrics.inc("repro_incremental_sealed_groups_total",
+                            sealed)
+        return sealed
 
     def insert_rows(self, rows: Iterable[Sequence[object]]) -> int:
         """Insert rows given as decoded values."""

@@ -1,0 +1,62 @@
+"""Observability: tracing, typed metrics, structured logs, privacy audit.
+
+Four cooperating pieces, all stdlib-or-numpy only:
+
+* :mod:`repro.obs.tracing` — hierarchical spans with trace/span IDs and
+  parent links, context-propagated with :mod:`contextvars` (including
+  across the query frontend's micro-batch worker threads).
+  ``repro.perf.span`` is a shim over this module: one instrumented
+  region feeds both the perf-gate aggregates and, when enabled, a trace.
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms in a :class:`~repro.obs.metrics.MetricsRegistry`, rendered
+  as JSON or Prometheus text exposition (``GET /metrics``).
+* :mod:`repro.obs.logging` — JSON-lines structured logging with
+  trace/span IDs attached (``python -m repro serve --log-json``).
+* :mod:`repro.obs.audit` — per-release privacy audit (max group
+  frequency, worst-case breach probability, eligibility margin)
+  exported as gauges labelled by publication version.  Imported lazily
+  by callers, not here, because it pulls in the core package.
+
+Every hook is a no-op until something is installed (``set_tracer`` /
+``set_registry``), costing a global load and a branch — cheap enough to
+live permanently on hot paths; ``tests/obs/test_overhead.py`` pins that
+property.
+"""
+
+from repro.obs.logging import StructuredLogger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    set_registry,
+)
+from repro.obs.tracing import (
+    ContextSnapshot,
+    Span,
+    Tracer,
+    active_tracer,
+    attach_context,
+    capture_context,
+    current_context,
+    set_tracer,
+)
+
+__all__ = [
+    "ContextSnapshot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "active_registry",
+    "active_tracer",
+    "attach_context",
+    "capture_context",
+    "current_context",
+    "set_registry",
+    "set_tracer",
+]

@@ -1,0 +1,85 @@
+"""Structured JSON logging with trace correlation.
+
+One :class:`StructuredLogger` writes one JSON object per line to a
+stream (default ``sys.stderr``).  Every record carries a UTC timestamp,
+a level, an event name, and — when the emitting code runs inside a
+traced span — the current ``trace_id``/``span_id`` from
+:mod:`repro.obs.tracing`, so a request's log lines and its spans join
+on the trace ID.
+
+The HTTP server uses this for its request log under
+``python -m repro serve --log-json``; values that are not JSON
+serializable are stringified rather than raising, because a log line
+must never take the request down.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import sys
+import threading
+from typing import Any, TextIO
+
+from repro.obs import tracing
+
+_LEVELS = ("debug", "info", "warning", "error")
+
+
+class StructuredLogger:
+    """Thread-safe JSON-lines logger.
+
+    Examples
+    --------
+    >>> import io
+    >>> out = io.StringIO()
+    >>> logger = StructuredLogger(stream=out, service="test")
+    >>> _ = logger.info("http.request", method="GET", status=200)
+    >>> record = json.loads(out.getvalue())
+    >>> record["event"], record["method"], record["status"]
+    ('http.request', 'GET', 200)
+    """
+
+    def __init__(self, stream: TextIO | None = None, *,
+                 service: str = "repro") -> None:
+        self._stream = stream
+        self.service = service
+        self._lock = threading.Lock()
+
+    def log(self, event: str, *, level: str = "info",
+            **fields: Any) -> dict:
+        """Emit one record; returns the dict that was written."""
+        if level not in _LEVELS:
+            raise ValueError(
+                f"unknown level {level!r}; expected one of {_LEVELS}")
+        record: dict[str, Any] = {
+            "ts": datetime.datetime.now(datetime.timezone.utc)
+                  .isoformat(timespec="milliseconds"),
+            "level": level,
+            "service": self.service,
+            "event": event,
+        }
+        context = tracing.current_context()
+        if context is not None:
+            record["trace_id"] = context.trace_id
+            record["span_id"] = context.span_id
+        record.update(fields)
+        line = json.dumps(record, default=str, sort_keys=False)
+        stream = self._stream if self._stream is not None \
+            else sys.stderr
+        with self._lock:
+            stream.write(line + "\n")
+            stream.flush()
+        return record
+
+    def debug(self, event: str, **fields: Any) -> dict:
+        return self.log(event, level="debug", **fields)
+
+    def info(self, event: str, **fields: Any) -> dict:
+        return self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields: Any) -> dict:
+        return self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields: Any) -> dict:
+        return self.log(event, level="error", **fields)

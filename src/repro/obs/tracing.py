@@ -1,0 +1,266 @@
+"""Hierarchical tracing: spans with trace/span IDs and parent links.
+
+A :class:`Tracer` collects finished :class:`Span` records; the *current*
+span is tracked in a :mod:`contextvars` context variable, so nesting is
+automatic within a thread (or task) and explicit across threads via
+:func:`capture_context` / :func:`attach_context` — the query frontend
+uses that pair to parent the batch-engine span executed on its worker
+thread to the submitting request's trace.
+
+Like :mod:`repro.perf.timing`, the module-level hooks are no-ops until a
+tracer is installed::
+
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    with span("http.request", method="GET") as s:
+        with span("query.batch.evaluate", queries=100):
+            ...
+    set_tracer(previous)
+    tracer.finished()   # -> list of span dicts, child linked to parent
+
+When no tracer is installed, :func:`span` returns a single shared no-op
+context manager (:data:`NOOP_SPAN`) — no allocation, no contextvar
+traffic — so the hooks are safe on hot paths.  ``repro.perf.span`` is a
+shim over this module: one ``perf.span(...)`` region feeds both the
+:class:`~repro.perf.timing.PerfRecorder` aggregates (bit-identical to
+the pre-tracing format) and, when tracing is enabled, a real span.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any
+
+_id_counter = itertools.count(1)
+
+
+def _new_id() -> str:
+    """A process-unique 16-hex-digit ID (monotonic, cheap, GIL-atomic)."""
+    return f"{next(_id_counter):016x}"
+
+
+class ContextSnapshot:
+    """An immutable, thread-portable handle on a span's identity.
+
+    Carry one across a thread boundary and re-enter it with
+    :func:`attach_context`; spans started inside become children of the
+    captured span even though they run on a different thread.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:
+        return (f"ContextSnapshot(trace_id={self.trace_id!r}, "
+                f"span_id={self.span_id!r})")
+
+
+class Span:
+    """One timed region of a trace; also its own context manager.
+
+    Entering sets the span as the context's current span (so descendants
+    parent to it); exiting restores the previous one, stamps the
+    duration, and hands the finished record to the tracer.
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id",
+                 "attributes", "start_s", "duration_s", "error",
+                 "_tracer", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 parent_id: str | None,
+                 attributes: dict[str, Any]) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.start_s = 0.0
+        self.duration_s: float | None = None
+        self.error: str | None = None
+        self._tracer = tracer
+        self._token = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def context(self) -> ContextSnapshot:
+        return ContextSnapshot(self.trace_id, self.span_id)
+
+    def to_json(self) -> dict:
+        record: dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+        }
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    def __enter__(self) -> "Span":
+        self.start_s = time.perf_counter()
+        self._token = _current.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self.start_s
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._finish(self)
+        return False
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, trace_id={self.trace_id!r}, "
+                f"span_id={self.span_id!r}, "
+                f"parent_id={self.parent_id!r})")
+
+
+class _NoopSpan:
+    """Shared, reentrant, allocation-free stand-in for a disabled span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def context(self) -> None:
+        return None
+
+
+#: The one no-op span every disabled hook returns (identity-testable).
+NOOP_SPAN = _NoopSpan()
+
+_current: contextvars.ContextVar[Span | ContextSnapshot | None] = \
+    contextvars.ContextVar("repro_obs_current_span", default=None)
+
+
+class Tracer:
+    """Collects finished spans in a bounded ring buffer (thread-safe)."""
+
+    def __init__(self, max_spans: int = 10_000) -> None:
+        self._spans: deque[dict] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    def span(self, name: str, **attributes) -> Span:
+        """Start (but do not enter) a span parented to the context's
+        current span, if any."""
+        parent = _current.get()
+        if parent is None:
+            trace_id, parent_id = _new_id(), None
+        elif isinstance(parent, ContextSnapshot):
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        return Span(self, name, trace_id, parent_id, attributes)
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self.dropped += 1
+            self._spans.append(span.to_json())
+
+    def finished(self) -> list[dict]:
+        """Finished span records, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def find(self, name: str) -> list[dict]:
+        """Finished spans with the given name."""
+        return [s for s in self.finished() if s["name"] == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_active: Tracer | None = None
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install ``tracer`` as the hook target; returns the previous one
+    (pass it back to restore)."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+def active_tracer() -> Tracer | None:
+    return _active
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def span(name: str, **attributes):
+    """Start a span on the active tracer; :data:`NOOP_SPAN` when none is
+    installed."""
+    tracer = _active
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attributes)
+
+
+def current_context() -> ContextSnapshot | None:
+    """The (trace_id, span_id) of the context's current span, for log
+    correlation; ``None`` outside any span or when tracing is off."""
+    if _active is None:
+        return None
+    current = _current.get()
+    if current is None:
+        return None
+    if isinstance(current, ContextSnapshot):
+        return current
+    return current.context()
+
+
+def capture_context() -> ContextSnapshot | None:
+    """Capture the current span identity for another thread (cheap
+    ``None`` when tracing is disabled)."""
+    return current_context()
+
+
+@contextmanager
+def attach_context(snapshot: ContextSnapshot | None):
+    """Adopt a captured context: spans started inside parent to it.
+
+    ``attach_context(None)`` is a no-op, so callers can pass whatever
+    :func:`capture_context` returned without checking.
+    """
+    if snapshot is None or _active is None:
+        yield
+        return
+    token = _current.set(snapshot)
+    try:
+        yield
+    finally:
+        _current.reset(token)

@@ -32,7 +32,12 @@ DEFAULT_BASELINE = os.path.join(_BENCH_DIR, "BENCH_baseline.json")
 
 def load_summary(path: str) -> dict:
     with open(path, encoding="utf-8") as fh:
-        return json.load(fh)
+        document = json.load(fh)
+    if not isinstance(document, dict) or \
+            not isinstance(document.get("spans", {}), dict):
+        raise ValueError(f"{path} is not a benchmark summary "
+                         f"(expected an object with a 'spans' map)")
+    return document
 
 
 def compare(current: dict, baseline: dict,
@@ -40,9 +45,11 @@ def compare(current: dict, baseline: dict,
     """Diff two summaries' per-span mean times.
 
     Returns ``(violations, notes)``: spans slower than ``threshold`` x
-    baseline, and informational lines (unmatched spans, improvements).
+    baseline — worst regression first, each naming the span and the
+    regression factor — and informational lines (unmatched spans,
+    improvements).
     """
-    violations: list[str] = []
+    regressed: list[tuple[float, str]] = []
     notes: list[str] = []
     current_spans = current.get("spans", {})
     baseline_spans = baseline.get("spans", {})
@@ -60,12 +67,15 @@ def compare(current: dict, baseline: dict,
         line = (f"{name}: {cur_mean * 1e3:.2f} ms vs baseline "
                 f"{base_mean * 1e3:.2f} ms ({ratio:.2f}x)")
         if ratio > threshold:
-            violations.append(line + f" exceeds {threshold:.1f}x")
+            regressed.append((ratio, (
+                f"{line} exceeds {threshold:.1f}x "
+                f"(+{(cur_mean - base_mean) * 1e3:.2f} ms/call)")))
         else:
             notes.append(line)
     for name in sorted(set(current_spans) - set(baseline_spans)):
         notes.append(f"{name}: new span (no baseline)")
-    return violations, notes
+    regressed.sort(key=lambda pair: -pair[0])
+    return [line for _, line in regressed], notes
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,8 +93,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if not os.path.exists(args.current):
-        print(f"error: no benchmark summary at {args.current}; "
-              f"run the benchmark suite first", file=sys.stderr)
+        print(f"error: no benchmark summary at {args.current}\n"
+              f"usage: run the benchmark suite first, e.g.\n"
+              f"  REPRO_BENCH_SCALE=smoke python -m pytest benchmarks "
+              f"-k 'algorithm_speed or batch_queries or service'\n"
+              f"then re-run python -m repro.perf.check",
+              file=sys.stderr)
         return 2
     if args.update_baseline:
         shutil.copyfile(args.current, args.baseline)
@@ -94,8 +108,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no baseline recorded at {args.baseline}; "
               f"run with --update-baseline to create one")
         return 0
-    violations, notes = compare(load_summary(args.current),
-                                load_summary(args.baseline),
+    try:
+        current = load_summary(args.current)
+        baseline = load_summary(args.baseline)
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot read benchmark summaries: {exc}\n"
+              f"usage: regenerate with the benchmark suite, or refresh "
+              f"the baseline with --update-baseline", file=sys.stderr)
+        return 2
+    violations, notes = compare(current, baseline,
                                 threshold=args.threshold)
     for line in notes:
         print(f"  ok  {line}")
@@ -103,7 +124,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL  {line}")
     if violations:
         print(f"{len(violations)} span(s) regressed more than "
-              f"{args.threshold:.1f}x", file=sys.stderr)
+              f"{args.threshold:.1f}x (worst first above)",
+              file=sys.stderr)
         return 1
     print("no regressions")
     return 0

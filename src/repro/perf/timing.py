@@ -7,10 +7,10 @@ Library code marks interesting regions with the module-level hooks::
     with span("publish.anatomize", n=len(table), l=l):
         published = anatomize(table, l)
 
-Without an installed recorder the hooks cost a dictionary lookup and a
-shared no-op context manager, so they are safe on hot paths.  A harness
-(the benchmark suite's ``conftest``) installs one for the duration of a
-run::
+Without an installed recorder *and* with tracing disabled the hooks
+return a shared no-op context manager, so they are safe on hot paths.
+A harness (the benchmark suite's ``conftest``) installs one for the
+duration of a run::
 
     recorder = PerfRecorder(scale="default")
     previous = set_recorder(recorder)
@@ -20,32 +20,52 @@ run::
 
 The written summary aggregates spans by name (count / total / mean /
 min / max seconds) so ``repro.perf.check`` can diff two runs.
+
+``span`` is a shim over :mod:`repro.obs.tracing`: one instrumented
+region simultaneously feeds the recorder's flat aggregates (the format
+above, unchanged) and — when a tracer is installed — a hierarchical
+trace span with the same name and attributes.  Either sink may be
+enabled independently; the recorder's summary stays bit-identical to
+the pre-tracing format either way.
+
+:class:`PerfRecorder` is thread-safe: the serving stack records spans
+from ``ThreadingHTTPServer`` handler threads and the frontend's worker
+concurrently against one shared recorder.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
+
+from repro.obs import tracing
 
 #: Format version of the summary document.
 SCHEMA_VERSION = 1
 
 
 class PerfRecorder:
-    """Collects named wall-clock spans and renders a JSON summary."""
+    """Collects named wall-clock spans and renders a JSON summary.
+
+    Safe for concurrent ``record`` / ``totals`` / ``write`` calls from
+    multiple threads; entries are immutable once appended.
+    """
 
     def __init__(self, **metadata) -> None:
         self.metadata = dict(metadata)
         self.entries: list[dict] = []
+        self._lock = threading.Lock()
 
     def record(self, name: str, seconds: float, **info) -> None:
         """Record one completed span of ``seconds`` wall-clock time."""
         entry: dict = {"name": str(name), "seconds": float(seconds)}
         if info:
             entry["info"] = info
-        self.entries.append(entry)
+        with self._lock:
+            self.entries.append(entry)
 
     @contextmanager
     def span(self, name: str, **info):
@@ -56,10 +76,14 @@ class PerfRecorder:
         finally:
             self.record(name, time.perf_counter() - start, **info)
 
+    def _entries_snapshot(self) -> list[dict]:
+        with self._lock:
+            return list(self.entries)
+
     def totals(self) -> dict[str, dict]:
         """Aggregate statistics per span name."""
         aggregated: dict[str, dict] = {}
-        for entry in self.entries:
+        for entry in self._entries_snapshot():
             stats = aggregated.setdefault(entry["name"], {
                 "count": 0, "total_s": 0.0,
                 "min_s": float("inf"), "max_s": 0.0,
@@ -79,7 +103,7 @@ class PerfRecorder:
             "schema_version": SCHEMA_VERSION,
             "metadata": self.metadata,
             "spans": self.totals(),
-            "entries": self.entries,
+            "entries": self._entries_snapshot(),
         }
 
     def write(self, path: str) -> str:
@@ -109,16 +133,47 @@ def active_recorder() -> PerfRecorder | None:
     return _active
 
 
-@contextmanager
-def _noop_span():
-    yield
+class _TimedSpan:
+    """One instrumented region feeding recorder and/or tracer.
+
+    Timing is measured once (``perf_counter`` pair) and shared by both
+    sinks, so the recorder's numbers are identical whether or not
+    tracing is enabled.
+    """
+
+    __slots__ = ("name", "info", "recorder", "_start", "_obs")
+
+    def __init__(self, name: str, recorder: PerfRecorder | None,
+                 info: dict) -> None:
+        self.name = name
+        self.info = info
+        self.recorder = recorder
+        self._obs = None
+
+    def __enter__(self) -> "_TimedSpan":
+        tracer = tracing.active_tracer()
+        if tracer is not None:
+            self._obs = tracer.span(self.name, **self.info)
+            self._obs.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        seconds = time.perf_counter() - self._start
+        if self.recorder is not None:
+            self.recorder.record(self.name, seconds, **self.info)
+        if self._obs is not None:
+            self._obs.__exit__(exc_type, exc, tb)
+            self._obs = None
+        return False
 
 
 def span(name: str, **info):
-    """Time a region on the active recorder; no-op when none is set."""
-    if _active is None:
-        return _noop_span()
-    return _active.span(name, **info)
+    """Time a region on the active recorder and/or tracer; returns the
+    shared no-op context manager when neither is installed."""
+    if _active is None and not tracing.enabled():
+        return tracing.NOOP_SPAN
+    return _TimedSpan(name, _active, info)
 
 
 def record(name: str, seconds: float, **info) -> None:

@@ -59,6 +59,7 @@ from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.exceptions import QueryError
 from repro.generalization.generalized_table import GeneralizedTable
+from repro.obs import metrics
 from repro.perf import span
 from repro.query.predicates import CountQuery
 
@@ -427,4 +428,10 @@ class BatchEvaluator:
             encoding = self.encode(queries)
         with span("query.batch.evaluate", queries=encoding.n_queries,
                   mode=mode, index=type(self._index).__name__):
-            return self._index.evaluate(encoding, mode=mode)
+            values = self._index.evaluate(encoding, mode=mode)
+        if metrics.enabled():
+            metrics.inc("repro_query_batch_evaluations_total",
+                        mode=mode, index=type(self._index).__name__)
+            metrics.inc("repro_query_batch_queries_total",
+                        encoding.n_queries)
+        return values

@@ -11,8 +11,11 @@ living system (the ROADMAP's north star):
   into micro-batches for the vectorized batch engine, answered from an
   LRU result cache keyed by ``(publication, version, fingerprint)``.
 * :mod:`repro.service.http` — a stdlib-only HTTP JSON API
-  (``python -m repro serve``) with ``/metrics`` backed by
-  :mod:`repro.perf` span aggregates.
+  (``python -m repro serve``) serving Prometheus-format ``/metrics``
+  (typed counters/gauges/histograms plus per-release privacy-audit
+  gauges from :mod:`repro.obs`), ``/stats``, and — under ``--trace`` /
+  ``--log-json`` — hierarchical trace spans and a structured JSON
+  request log.
 * :mod:`repro.service.cache` / :mod:`repro.service.locks` — the
   supporting LRU cache and reader-writer lock.
 """

@@ -96,6 +96,12 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def count_keys(self, predicate) -> int:
+        """How many current keys satisfy ``predicate`` (O(entries),
+        under the lock — stats use only)."""
+        with self._lock:
+            return sum(1 for key in self._data if predicate(key))
+
     def stats(self) -> dict[str, int]:
         """Counters since construction (entries is the current size)."""
         with self._lock:

@@ -29,6 +29,8 @@ from collections.abc import Sequence
 from concurrent.futures import Future
 
 from repro.exceptions import QueryError, ServiceError
+from repro.obs import metrics, tracing
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
 from repro.perf import span
 from repro.query.predicates import CountQuery
 from repro.service.cache import LRUCache, query_fingerprint
@@ -61,14 +63,19 @@ class QueryAnswer:
 
 
 class _Pending:
-    __slots__ = ("snapshot", "query", "fingerprint", "future")
+    __slots__ = ("snapshot", "query", "fingerprint", "future",
+                 "context")
 
     def __init__(self, snapshot: PublicationSnapshot, query: CountQuery,
-                 fingerprint: str, future: Future) -> None:
+                 fingerprint: str, future: Future,
+                 context: tracing.ContextSnapshot | None = None) -> None:
         self.snapshot = snapshot
         self.query = query
         self.fingerprint = fingerprint
         self.future = future
+        #: The submitter's trace context, so batch-engine spans executed
+        #: on the worker thread stay parented to the submitting request.
+        self.context = context
 
 
 class QueryFrontend:
@@ -133,7 +140,8 @@ class QueryFrontend:
             if self._closed:
                 raise ServiceError("frontend is closed")
             self._pending.append(_Pending(snapshot, query, fingerprint,
-                                          future))
+                                          future,
+                                          tracing.capture_context()))
             if self._worker is None:
                 self._worker = threading.Thread(
                     target=self._worker_loop,
@@ -184,6 +192,12 @@ class QueryFrontend:
 
     def cache_stats(self) -> dict[str, int]:
         return self.cache.stats()
+
+    def cache_entries_for(self, publication: str) -> int:
+        """Cached answers currently held for one publication (all
+        versions)."""
+        return self.cache.count_keys(
+            lambda key: key[0] == publication)
 
     def close(self, timeout: float | None = 5.0) -> None:
         """Stop the worker after draining already-pending queries."""
@@ -240,14 +254,21 @@ class QueryFrontend:
             self._run_batch(batch)
 
     def _run_batch(self, batch: list[_Pending]) -> None:
+        if metrics.enabled():
+            metrics.observe("repro_service_coalesce_batch_size",
+                            len(batch), buckets=DEFAULT_SIZE_BUCKETS)
         groups: dict[tuple[str, int], list[_Pending]] = {}
         for item in batch:
             key = (item.snapshot.name, item.snapshot.version)
             groups.setdefault(key, []).append(item)
         for (name, version), items in groups.items():
             try:
-                values = self._evaluate(items[0].snapshot,
-                                        [i.query for i in items])
+                # Adopt the first submitter's trace so the batch-engine
+                # spans below stay linked to a request's trace even
+                # though they run on this worker thread.
+                with tracing.attach_context(items[0].context):
+                    values = self._evaluate(items[0].snapshot,
+                                            [i.query for i in items])
             except Exception as exc:  # propagate to every waiter
                 for item in items:
                     if not item.future.set_running_or_notify_cancel():

@@ -20,21 +20,41 @@ frontend.  Endpoints (all bodies JSON):
   path) or a workload ``{"queries": [...]}`` (direct batch path).
   Each answer reports the version it is exact for and whether it came
   from the result cache.
-* ``GET  /metrics`` — the service recorder's per-span aggregates
-  (:meth:`repro.perf.PerfRecorder.totals`) plus cache statistics.
+* ``GET  /metrics`` — Prometheus text exposition (format 0.0.4) of the
+  service's typed metrics: per-endpoint request counters, latency
+  histograms and in-flight gauges, cache hit/miss/eviction counters,
+  batch-coalescing histograms, and the per-version privacy-audit
+  gauges of :mod:`repro.obs.audit`.  ``GET /metrics?format=json`` (or
+  ``Accept: application/json``) returns the JSON document instead,
+  which also carries the perf recorder's per-span aggregates
+  (:meth:`repro.perf.PerfRecorder.totals`).
+* ``GET  /stats`` — service-wide statistics: cache counters plus every
+  publication's stats (including its latest privacy audit).
 
 Error mapping: malformed requests and ``ReproError`` subclasses are
 400, unknown publications/paths 404, duplicate creation 409.
+
+With ``--trace`` every request runs inside an ``http.request`` span
+(:mod:`repro.obs.tracing`) and downstream ingest/seal/batch spans link
+to it; with ``--log-json`` the request log is emitted as JSON lines
+carrying the trace/span IDs (:mod:`repro.obs.logging`).
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TextIO
 from urllib.parse import parse_qs, urlparse
 
 from repro.exceptions import ReproError, ServiceError
+from repro.obs import logging as obs_logging
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
 from repro.perf import PerfRecorder, set_recorder
 from repro.query.predicates import CountQuery
 from repro.service.frontend import QueryFrontend
@@ -47,42 +67,131 @@ from repro.service.registry import (
 #: Request bodies larger than this are rejected outright (16 MiB).
 MAX_BODY_BYTES = 16 << 20
 
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 _UNSET = object()
 
 
 class ReproService:
-    """Bundles registry, frontend, and a perf recorder for serving."""
+    """Bundles registry, frontend, and the observability stack
+    (perf recorder, typed-metrics registry, optional tracer and
+    structured logger) for serving."""
 
     def __init__(self, *, mode: str = "exact", cache_size: int = 4096,
                  batch_window_s: float = 0.001,
-                 recorder: PerfRecorder | None = None) -> None:
+                 recorder: PerfRecorder | None = None,
+                 trace: bool = False, log_json: bool = False,
+                 log_stream: TextIO | None = None) -> None:
         self.registry = PublicationRegistry()
         self.frontend = QueryFrontend(
             self.registry, cache_size=cache_size,
             batch_window_s=batch_window_s, mode=mode)
         self.recorder = recorder if recorder is not None \
             else PerfRecorder(role="repro.service")
+        self.metrics_registry = MetricsRegistry()
+        self.metrics_registry.register_collector(self._collect)
+        self.tracer = tracing.Tracer() if trace else None
+        self.logger = obs_logging.StructuredLogger(
+            stream=log_stream if log_stream is not None else sys.stderr,
+            service="repro.service") if log_json else None
         self._previous_recorder: object = _UNSET
+        self._previous_registry: object = _UNSET
+        self._previous_tracer: object = _UNSET
         self._lock = threading.Lock()
 
     def install_recorder(self) -> None:
-        """Route the global ``span`` hooks to this service's recorder
-        (so ``/metrics`` sees ingest/seal/query-batch spans)."""
+        """Route the global observability hooks to this service: perf
+        spans to its recorder, typed metrics to its registry, and —
+        when tracing is on — trace spans to its tracer (so ``/metrics``
+        sees ingest/seal/query-batch activity)."""
         with self._lock:
             if self._previous_recorder is _UNSET:
                 self._previous_recorder = set_recorder(self.recorder)
+            if self._previous_registry is _UNSET:
+                self._previous_registry = obs_metrics.set_registry(
+                    self.metrics_registry)
+            if self.tracer is not None and \
+                    self._previous_tracer is _UNSET:
+                self._previous_tracer = tracing.set_tracer(self.tracer)
 
     def restore_recorder(self) -> None:
         with self._lock:
             if self._previous_recorder is not _UNSET:
                 set_recorder(self._previous_recorder)  # type: ignore[arg-type]
                 self._previous_recorder = _UNSET
+            if self._previous_registry is not _UNSET:
+                obs_metrics.set_registry(self._previous_registry)  # type: ignore[arg-type]
+                self._previous_registry = _UNSET
+            if self._previous_tracer is not _UNSET:
+                tracing.set_tracer(self._previous_tracer)  # type: ignore[arg-type]
+                self._previous_tracer = _UNSET
+
+    def _collect(self, registry: MetricsRegistry) -> None:
+        """Render-time collector: mirror the cache's own monotonic
+        counters and per-publication state into typed metrics (nothing
+        is double-counted on the hot path)."""
+        cache = self.frontend.cache_stats()
+        registry.counter(
+            "repro_cache_hits_total",
+            "Result-cache hits since service start").set_total(
+                cache["hits"])
+        registry.counter(
+            "repro_cache_misses_total",
+            "Result-cache misses since service start").set_total(
+                cache["misses"])
+        registry.counter(
+            "repro_cache_evictions_total",
+            "Result-cache LRU evictions since service start").set_total(
+                cache["evictions"])
+        registry.gauge(
+            "repro_cache_entries",
+            "Result-cache current size").set(cache["entries"])
+        registry.gauge(
+            "repro_cache_capacity",
+            "Result-cache capacity").set(cache["capacity"])
+        for stats in self.registry.stats():
+            labels = {"publication": stats["publication"]}
+            registry.gauge(
+                "repro_service_publication_version",
+                "Current release version (sealed group count)",
+                labelnames=("publication",)).set(
+                    stats["version"], **labels)
+            registry.gauge(
+                "repro_service_buffered_rows",
+                "Tuples withheld from the current release",
+                labelnames=("publication",)).set(
+                    stats["buffered"], **labels)
+            registry.gauge(
+                "repro_service_published_tuples",
+                "Tuples in the current release",
+                labelnames=("publication",)).set(
+                    stats["published_tuples"], **labels)
 
     def metrics(self) -> dict:
-        return {
+        document = {
             "spans": self.recorder.totals(),
             "cache": self.frontend.cache_stats(),
             "publications": self.registry.stats(),
+            "metrics": self.metrics_registry.to_json(),
+        }
+        if self.tracer is not None:
+            document["traces"] = self.tracer.finished()
+        return document
+
+    def prometheus_metrics(self) -> str:
+        """The typed-metrics registry in Prometheus text exposition."""
+        return self.metrics_registry.render_prometheus()
+
+    def stats(self) -> dict:
+        """Service-wide statistics for ``GET /stats``."""
+        publications = self.registry.stats()
+        for stats in publications:
+            stats["cached_answers"] = self.frontend.cache_entries_for(
+                stats["publication"])
+        return {
+            "cache": self.frontend.cache_stats(),
+            "publications": publications,
         }
 
     def close(self) -> None:
@@ -94,6 +203,23 @@ class _HTTPError(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+
+
+def _endpoint_label(parts: list[str]) -> str:
+    """A bounded-cardinality endpoint label for one request path."""
+    if not parts:
+        return "/"
+    if parts[0] in ("metrics", "healthz", "stats"):
+        return "/" + parts[0]
+    if parts[0] == "publications":
+        if len(parts) == 1:
+            return "/publications"
+        if len(parts) == 2:
+            return "/publications/{name}"
+        if len(parts) == 3 and parts[2] in ("ingest", "publish",
+                                            "query", "stats"):
+            return "/publications/{name}/" + parts[2]
+    return "unmatched"
 
 
 def _publication_payload(service: ReproService, name: str,
@@ -153,8 +279,16 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = PROMETHEUS_CONTENT_TYPE) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
+
+    def _send_body(self, status: int, body: bytes,
+                   content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -179,20 +313,64 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         parts = [p for p in parsed.path.split("/") if p]
         query_string = parse_qs(parsed.query)
+        endpoint = _endpoint_label(parts)
+        registry = service.metrics_registry
+        in_flight = registry.gauge(
+            "repro_http_requests_in_flight",
+            "Requests currently being handled",
+            labelnames=("endpoint",))
+        in_flight.inc(endpoint=endpoint)
+        start = time.perf_counter()
         try:
-            status, payload = self._route(service, method, parts,
-                                          query_string)
-        except _HTTPError as exc:
-            self._send_json(exc.status, {"error": str(exc)})
-        except ServiceError as exc:
-            status = 404 if "unknown publication" in str(exc) else 409
-            self._send_json(status, {"error": str(exc)})
-        except ReproError as exc:
-            self._send_json(400, {"error": str(exc)})
-        except Exception as exc:  # pragma: no cover - defensive
-            self._send_json(500, {"error": f"internal error: {exc}"})
-        else:
-            self._send_json(status, payload)
+            self._handle(service, method, parts, query_string,
+                         parsed.path, endpoint, registry, start)
+        finally:
+            in_flight.dec(endpoint=endpoint)
+
+    def _handle(self, service: ReproService, method: str,
+                parts: list[str], query_string: dict, path: str,
+                endpoint: str, registry, start: float) -> None:
+        with tracing.span("http.request", method=method,
+                          endpoint=endpoint, path=path) as req:
+            try:
+                status, payload = self._route(service, method, parts,
+                                              query_string)
+            except _HTTPError as exc:
+                status, payload = exc.status, {"error": str(exc)}
+            except ServiceError as exc:
+                status = 404 if "unknown publication" in str(exc) \
+                    else 409
+                payload = {"error": str(exc)}
+            except ReproError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except Exception as exc:  # pragma: no cover - defensive
+                status, payload = 500, {"error": f"internal error: "
+                                                 f"{exc}"}
+            req.set_attribute("status", status)
+            # record before writing the response so a client that saw
+            # this reply and immediately scrapes /metrics observes it
+            duration = time.perf_counter() - start
+            registry.counter(
+                "repro_http_requests_total",
+                "HTTP requests by endpoint, method, and status",
+                labelnames=("endpoint", "method", "status")).inc(
+                    endpoint=endpoint, method=method,
+                    status=str(status))
+            registry.histogram(
+                "repro_http_request_seconds",
+                "HTTP request latency by endpoint and method",
+                labelnames=("endpoint", "method")).observe(
+                    duration, endpoint=endpoint, method=method)
+            if service.logger is not None:
+                service.logger.info(
+                    "http.request", method=method, path=path,
+                    endpoint=endpoint, status=status,
+                    duration_ms=round(duration * 1e3, 3),
+                    client=self.client_address[0])
+            if isinstance(payload, str):
+                self._send_text(status, payload)
+            else:
+                self._send_json(status, payload)
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -209,9 +387,20 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
 
     def _route(self, service: ReproService, method: str,
                parts: list[str],
-               query_string: dict) -> tuple[int, dict]:
+               query_string: dict) -> tuple[int, "dict | str"]:
         if parts == ["metrics"] and method == "GET":
-            return 200, service.metrics()
+            fmt = query_string.get("format", [""])[0]
+            accept = self.headers.get("Accept") or ""
+            if fmt == "json" or (not fmt
+                                 and "application/json" in accept):
+                return 200, service.metrics()
+            if fmt not in ("", "prometheus", "text"):
+                raise _HTTPError(400, f"unknown metrics format "
+                                      f"{fmt!r}; expected 'prometheus' "
+                                      f"or 'json'")
+            return 200, service.prometheus_metrics()
+        if parts == ["stats"] and method == "GET":
+            return 200, service.stats()
         if parts == ["healthz"] and method == "GET":
             return 200, {"status": "ok",
                          "publications": len(service.registry)}

@@ -29,6 +29,12 @@ from repro.core.incremental import IncrementalAnatomizer
 from repro.core.tables import AnatomizedTables
 from repro.dataset.schema import Attribute, AttributeKind, Schema
 from repro.exceptions import ServiceError
+from repro.obs import metrics
+from repro.obs.audit import (
+    PrivacyAudit,
+    audit_publication,
+    record_publication_audit,
+)
 from repro.perf import span
 from repro.query.estimators import AnatomyEstimator
 from repro.service.locks import RWLock
@@ -79,19 +85,24 @@ def schema_from_json(spec: dict) -> Schema:
 class PublicationSnapshot:
     """An immutable view of one publication version.
 
-    ``release`` and ``estimator`` are ``None`` at version 0, before the
-    first group seals — the empty release answers every COUNT with 0.
+    ``release``, ``estimator``, and ``audit`` are ``None`` at version 0,
+    before the first group seals — the empty release answers every COUNT
+    with 0.  ``audit`` is the release's
+    :class:`~repro.obs.audit.PrivacyAudit`, measured once when the
+    snapshot was built.
     """
 
-    __slots__ = ("name", "version", "release", "estimator")
+    __slots__ = ("name", "version", "release", "estimator", "audit")
 
     def __init__(self, name: str, version: int,
                  release: AnatomizedTables | None,
-                 estimator: AnatomyEstimator | None) -> None:
+                 estimator: AnatomyEstimator | None,
+                 audit: PrivacyAudit | None = None) -> None:
         self.name = name
         self.version = version
         self.release = release
         self.estimator = estimator
+        self.audit = audit
 
     def __repr__(self) -> str:
         return (f"PublicationSnapshot({self.name!r}, "
@@ -139,7 +150,7 @@ class Publication:
                     sealed = self._anatomizer.insert_rows(rows)
                 else:
                     sealed = self._anatomizer.insert_codes(rows)
-                return {
+                result = {
                     "publication": self.name,
                     "rows": len(rows),
                     "sealed_groups": sealed,
@@ -148,6 +159,19 @@ class Publication:
                         self._anatomizer.published_tuple_count,
                     "buffered": self._anatomizer.buffered_count,
                 }
+        if metrics.enabled():
+            metrics.inc("repro_service_ingest_rows_total", len(rows),
+                        publication=self.name)
+            metrics.set_gauge("repro_service_publication_version",
+                              result["version"],
+                              publication=self.name)
+            metrics.set_gauge("repro_service_buffered_rows",
+                              result["buffered"],
+                              publication=self.name)
+            metrics.set_gauge("repro_service_published_tuples",
+                              result["published_tuples"],
+                              publication=self.name)
+        return result
 
     # ------------------------------------------------------------------ #
     # reads
@@ -171,8 +195,11 @@ class Publication:
                           version=version):
                     release = self._anatomizer.publish()
                     estimator = AnatomyEstimator(release)
+                    audit = audit_publication(release,
+                                              self._anatomizer.l)
+                record_publication_audit(self.name, version, audit)
                 snap = PublicationSnapshot(self.name, version, release,
-                                           estimator)
+                                           estimator, audit)
                 self._snapshot = snap
                 return snap
 
@@ -185,6 +212,11 @@ class Publication:
     def stats(self) -> dict:
         with self._rwlock.read_locked():
             anat = self._anatomizer
+            snap = self._snapshot
+            audit = None
+            if snap.audit is not None:
+                audit = dict(snap.audit.to_json(),
+                             audited_version=snap.version)
             return {
                 "publication": self.name,
                 "l": anat.l,
@@ -194,6 +226,7 @@ class Publication:
                 "buffered": anat.buffered_count,
                 "breach_probability_bound":
                     (1.0 / anat.l) if anat.group_count else 0.0,
+                "privacy_audit": audit,
                 "flush_report": anat.flush_report(),
             }
 

@@ -10,6 +10,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import EXIT_FAILURE, EXIT_USAGE, main
+from repro.obs.metrics import parse_prometheus_text
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -137,7 +138,8 @@ class TestServe:
         src = str(REPO_ROOT / "src")
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
         process = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--trace", "--log-json"],
             stdout=subprocess.PIPE, stderr=subprocess.PIPE,
             text=True, env=env)
         try:
@@ -167,6 +169,33 @@ class TestServe:
                 "POST", "/publications/smoke/query",
                 {"qi": {"A": [0, 1, 2]}, "sensitive": [0, 1]})
             assert status == 200 and answer["version"] > 0
+
+            # /metrics serves strictly-valid Prometheus text: every
+            # line must parse, and the instrumented families must show
+            # the traffic generated above
+            request = urllib.request.Request(base + "/metrics")
+            with urllib.request.urlopen(request, timeout=30) as r:
+                assert r.status == 200
+                assert r.headers["Content-Type"].startswith(
+                    "text/plain")
+                parsed = parse_prometheus_text(r.read().decode())
+            assert parsed["repro_http_requests_total"]["type"] \
+                == "counter"
+            assert parsed["repro_http_request_seconds"]["type"] \
+                == "histogram"
+            audits = parsed["repro_privacy_audit_ok"]["samples"]
+            assert audits and all(
+                'publication="smoke"' in key and value == 1.0
+                for key, value in audits.items())
+            assert "repro_cache_misses_total" in parsed
+
+            # --trace: the JSON document exposes finished trace spans
+            request = urllib.request.Request(
+                base + "/metrics?format=json")
+            with urllib.request.urlopen(request, timeout=30) as r:
+                document = json.loads(r.read())
+            traces = document.get("traces", [])
+            assert any(s["name"] == "http.request" for s in traces)
         finally:
             process.terminate()
             try:

@@ -1,0 +1,235 @@
+"""Unit tests for typed metrics and the Prometheus text renderer."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    previous = metrics.set_registry(registry)
+    yield registry
+    metrics.set_registry(previous)
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_series(self):
+        counter = MetricsRegistry().counter(
+            "reqs_total", labelnames=("method",))
+        counter.inc(method="GET")
+        counter.inc(2, method="GET")
+        counter.inc(method="POST")
+        assert counter.value(method="GET") == 3
+        assert counter.value(method="POST") == 1
+
+    def test_counter_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_wrong_label_set_rejected(self):
+        counter = MetricsRegistry().counter(
+            "x_total", labelnames=("a",))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(b="oops")
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc()  # missing required label
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("ok_total", labelnames=("bad-label",))
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        counter = MetricsRegistry().counter("hammer_total")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value() == 8000
+
+
+class TestGauge:
+    def test_set_add_inc_dec(self):
+        gauge = MetricsRegistry().gauge("temp")
+        gauge.set(10)
+        gauge.add(5)
+        gauge.inc()
+        gauge.dec(4)
+        assert gauge.value() == 12
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "lat_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["buckets"][0.01] == 1
+        assert snap["buckets"][0.1] == 3
+        assert snap["buckets"][1.0] == 4
+        assert snap["buckets"][math.inf] == 5
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(5.605)
+
+    def test_boundary_value_counts_in_its_bucket(self):
+        # Prometheus buckets are `le` (inclusive upper bounds)
+        histogram = MetricsRegistry().histogram(
+            "b_seconds", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.snapshot()["buckets"][1.0] == 1
+
+    def test_bucketless_or_duplicate_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="at least one"):
+            registry.histogram("h1_seconds", buckets=())
+        with pytest.raises(ValueError, match="distinct"):
+            registry.histogram("h2_seconds", buckets=(1.0, 1.0))
+
+    def test_empty_series_snapshot(self):
+        histogram = MetricsRegistry().histogram("empty_seconds")
+        assert histogram.snapshot() == {
+            "buckets": {}, "sum": 0.0, "count": 0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="already registered as"):
+            registry.gauge("thing")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing_total", labelnames=("a",))
+        with pytest.raises(ValueError,
+                           match="already registered with labels"):
+            registry.counter("thing_total", labelnames=("b",))
+
+    def test_collectors_run_on_render(self):
+        registry = MetricsRegistry()
+        state = {"hits": 7}
+        registry.register_collector(
+            lambda r: r.counter("hits_total").set_total(state["hits"]))
+        assert registry.to_json()["hits_total"]["value"] == 7
+        state["hits"] = 9
+        assert "hits_total 9" in registry.render_prometheus()
+
+    def test_auto_creating_helpers(self):
+        registry = MetricsRegistry()
+        registry.inc("c_total", method="GET")
+        registry.set_gauge("g", 4.5)
+        registry.observe("h_seconds", 0.2)
+        doc = registry.to_json()
+        assert doc["c_total"]["values"] == {"GET": 1.0}
+        assert doc["g"]["value"] == 4.5
+        assert doc["h_seconds"]["values"][""]["count"] == 1
+
+
+class TestModuleHooks:
+    def test_hooks_are_noops_without_a_registry(self):
+        assert metrics.active_registry() is None
+        assert not metrics.enabled()
+        # must not raise, must not create anything anywhere
+        metrics.inc("nope_total")
+        metrics.set_gauge("nope", 1.0)
+        metrics.observe("nope_seconds", 0.1)
+
+    def test_hooks_target_the_installed_registry(self, registry):
+        assert metrics.enabled()
+        metrics.inc("hits_total", 2)
+        metrics.set_gauge("depth", 3)
+        metrics.observe("lat_seconds", 0.002)
+        doc = registry.to_json()
+        assert doc["hits_total"]["value"] == 2
+        assert doc["depth"]["value"] == 3
+        assert doc["lat_seconds"]["values"][""]["count"] == 1
+
+
+class TestPrometheusRendering:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_requests_total", "Requests served",
+            labelnames=("endpoint",)).inc(
+                endpoint='/publications/{name}/query')
+        registry.gauge("repro_depth", "Queue depth").set(3)
+        registry.histogram(
+            "repro_lat_seconds", "Latency",
+            buckets=(0.01, 0.1)).observe(0.05)
+        return registry
+
+    def test_rendered_text_round_trips_through_the_parser(self):
+        text = self.build().render_prometheus()
+        parsed = parse_prometheus_text(text)
+        assert parsed["repro_requests_total"]["type"] == "counter"
+        assert parsed["repro_depth"]["type"] == "gauge"
+        assert parsed["repro_lat_seconds"]["type"] == "histogram"
+        samples = parsed["repro_lat_seconds"]["samples"]
+        assert samples['repro_lat_seconds_bucket{le="0.01"}'] == 0
+        assert samples['repro_lat_seconds_bucket{le="0.1"}'] == 1
+        assert samples['repro_lat_seconds_bucket{le="+Inf"}'] == 1
+        assert samples["repro_lat_seconds_count"] == 1
+
+    def test_help_and_type_lines_present(self):
+        text = self.build().render_prometheus()
+        assert "# HELP repro_requests_total Requests served" in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_lat_seconds histogram" in text
+
+    def test_label_values_with_braces_survive(self):
+        text = self.build().render_prometheus()
+        parsed = parse_prometheus_text(text)
+        key, = parsed["repro_requests_total"]["samples"]
+        assert 'endpoint="/publications/{name}/query"' in key
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", labelnames=("v",)).inc(
+            v='quote " backslash \\ newline \n done')
+        text = registry.render_prometheus()
+        parsed = parse_prometheus_text(text)
+        key, = parsed["esc_total"]["samples"]
+        assert '\\"' in key and "\\\\" in key and "\\n" in key
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("this is not a metric line\n")
+        with pytest.raises(ValueError, match="bad TYPE"):
+            parse_prometheus_text("# TYPE x bogus\n")
+        with pytest.raises(ValueError, match="malformed label pair"):
+            parse_prometheus_text('m{a=unquoted} 1\n')
+        with pytest.raises(ValueError):
+            parse_prometheus_text("m not_a_number\n")
+
+    def test_parser_accepts_special_values(self):
+        parsed = parse_prometheus_text("a +Inf\nb -Inf\nc NaN\n")
+        assert parsed["a"]["samples"]["a"] == math.inf
+        assert parsed["b"]["samples"]["b"] == -math.inf
+        assert math.isnan(parsed["c"]["samples"]["c"])
+
+    def test_default_latency_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == \
+            sorted(DEFAULT_LATENCY_BUCKETS)

@@ -1,0 +1,181 @@
+"""Unit tests for hierarchical tracing: IDs, nesting, threads."""
+
+import threading
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import NOOP_SPAN, ContextSnapshot, Tracer
+from repro.perf import PerfRecorder, set_recorder
+from repro.perf import span as perf_span
+
+
+@pytest.fixture()
+def tracer():
+    tracer = Tracer()
+    previous = tracing.set_tracer(tracer)
+    yield tracer
+    tracing.set_tracer(previous)
+
+
+class TestDisabled:
+    def test_span_returns_the_shared_noop(self):
+        assert tracing.active_tracer() is None
+        assert tracing.span("x") is NOOP_SPAN
+        assert tracing.span("y", a=1) is NOOP_SPAN  # same object
+
+    def test_noop_span_api_is_inert(self):
+        with tracing.span("x") as s:
+            s.set_attribute("k", "v")
+            assert s.context() is None
+        assert tracing.current_context() is None
+        assert tracing.capture_context() is None
+
+    def test_attach_none_context_is_a_noop(self):
+        with tracing.attach_context(None):
+            assert tracing.current_context() is None
+
+
+class TestSpans:
+    def test_nested_spans_share_trace_and_link_parents(self, tracer):
+        with tracing.span("outer") as outer:
+            with tracing.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        outer_rec, = tracer.find("outer")
+        inner_rec, = tracer.find("inner")
+        assert inner_rec["parent_id"] == outer_rec["span_id"]
+        assert outer_rec["parent_id"] is None
+        assert inner_rec["trace_id"] == outer_rec["trace_id"]
+
+    def test_sibling_roots_get_distinct_traces(self, tracer):
+        with tracing.span("a"):
+            pass
+        with tracing.span("b"):
+            pass
+        a, b = tracer.finished()
+        assert a["trace_id"] != b["trace_id"]
+        assert a["span_id"] != b["span_id"]
+
+    def test_finished_records_duration_and_attributes(self, tracer):
+        with tracing.span("work", queries=3) as s:
+            s.set_attribute("status", 200)
+        record, = tracer.finished()
+        assert record["duration_s"] >= 0.0
+        assert record["attributes"] == {"queries": 3, "status": 200}
+        assert "error" not in record
+
+    def test_exception_is_stamped_and_propagates(self, tracer):
+        with pytest.raises(ValueError, match="boom"):
+            with tracing.span("failing"):
+                raise ValueError("boom")
+        record, = tracer.finished()
+        assert record["error"] == "ValueError: boom"
+
+    def test_current_context_reflects_innermost_span(self, tracer):
+        assert tracing.current_context() is None
+        with tracing.span("outer"):
+            with tracing.span("inner") as inner:
+                context = tracing.current_context()
+                assert context.span_id == inner.span_id
+        assert tracing.current_context() is None
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(max_spans=2)
+        previous = tracing.set_tracer(tracer)
+        try:
+            for name in ("a", "b", "c"):
+                with tracing.span(name):
+                    pass
+        finally:
+            tracing.set_tracer(previous)
+        assert [s["name"] for s in tracer.finished()] == ["b", "c"]
+        assert tracer.dropped == 1
+
+    def test_clear_resets_buffer_and_drop_count(self, tracer):
+        with tracing.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.finished() == [] and tracer.dropped == 0
+
+
+class TestCrossThread:
+    def test_captured_context_parents_spans_on_another_thread(
+            self, tracer):
+        """The frontend pattern: capture on the submitting thread,
+        attach on the worker."""
+        captured = {}
+
+        def worker(snapshot):
+            with tracing.attach_context(snapshot):
+                with tracing.span("worker.batch") as s:
+                    captured["trace_id"] = s.trace_id
+                    captured["parent_id"] = s.parent_id
+
+        with tracing.span("http.request") as request:
+            snapshot = tracing.capture_context()
+            assert isinstance(snapshot, ContextSnapshot)
+            thread = threading.Thread(target=worker, args=(snapshot,))
+            thread.start()
+            thread.join()
+            assert captured["trace_id"] == request.trace_id
+            assert captured["parent_id"] == request.span_id
+
+    def test_unattached_thread_starts_its_own_trace(self, tracer):
+        seen = {}
+
+        def worker():
+            with tracing.span("orphan") as s:
+                seen["parent_id"] = s.parent_id
+
+        with tracing.span("root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["parent_id"] is None
+
+    def test_concurrent_spans_record_without_loss(self, tracer):
+        def hammer(i):
+            for _ in range(50):
+                with tracing.span(f"thread-{i}"):
+                    pass
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer) == 8 * 50
+        ids = [s["span_id"] for s in tracer.finished()]
+        assert len(set(ids)) == len(ids)  # IDs unique across threads
+
+
+class TestPerfShim:
+    def test_perf_span_feeds_both_recorder_and_tracer(self, tracer):
+        recorder = PerfRecorder()
+        previous = set_recorder(recorder)
+        try:
+            with perf_span("region", n=5):
+                pass
+        finally:
+            set_recorder(previous)
+        assert recorder.totals()["region"]["count"] == 1
+        record, = tracer.find("region")
+        assert record["attributes"] == {"n": 5}
+
+    def test_perf_span_traces_even_without_a_recorder(self, tracer):
+        with perf_span("traced.only"):
+            pass
+        assert len(tracer.find("traced.only")) == 1
+
+    def test_perf_span_nests_inside_tracing_spans(self, tracer):
+        with tracing.span("outer") as outer:
+            with perf_span("inner"):
+                pass
+        inner, = tracer.find("inner")
+        assert inner["parent_id"] == outer.span_id
+
+    def test_perf_span_is_noop_when_both_sinks_disabled(self):
+        assert tracing.active_tracer() is None
+        assert perf_span("anything") is NOOP_SPAN

@@ -62,3 +62,65 @@ class TestIncrementalSpans:
         totals = recorder.totals()
         assert totals["incremental.ingest"]["count"] == 1
         assert "incremental.seal" not in totals
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_no_entries(self):
+        """Regression test: the serving stack records spans from many
+        handler threads against one shared recorder; a bare list append
+        raced under free-threaded builds and lost entries."""
+        import threading
+
+        recorder = PerfRecorder()
+        threads_n, per_thread = 8, 500
+
+        def hammer(i):
+            for k in range(per_thread):
+                recorder.record(f"thread-{i}", 0.001, iteration=k)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        totals = recorder.totals()
+        assert sum(s["count"] for s in totals.values()) == \
+            threads_n * per_thread
+        for i in range(threads_n):
+            assert totals[f"thread-{i}"]["count"] == per_thread
+
+    def test_summary_is_consistent_while_recording(self):
+        """totals()/summary() may run concurrently with record()."""
+        import threading
+
+        recorder = PerfRecorder()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                recorder.record("w", 0.001, i=i)
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    totals = recorder.totals()
+                    if "w" in totals:
+                        assert totals["w"]["count"] >= 1
+                    recorder.summary()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        import time as _time
+        _time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []

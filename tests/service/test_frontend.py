@@ -169,3 +169,59 @@ class TestCoalescing:
         # micro-batch
         assert len(entries) < len(queries)
         assert max(e["info"]["queries"] for e in entries) > 1
+
+
+class TestObservability:
+    def test_worker_thread_spans_join_the_submitters_trace(
+            self, served, schema):
+        """The micro-batch evaluation runs on the frontend's worker
+        thread, but its spans must belong to the submitting request's
+        trace (captured at submit, attached around the evaluation)."""
+        from repro.obs import tracing
+
+        _, _, frontend = served
+        tracer = tracing.Tracer()
+        previous = tracing.set_tracer(tracer)
+        try:
+            with tracing.span("http.request") as request:
+                frontend.query(
+                    "p", CountQuery(schema, {"A": [1, 2]}, [0]))
+            evaluate, = tracer.find("query.batch.evaluate")
+            batch, = tracer.find("service.query.batch")
+        finally:
+            tracing.set_tracer(previous)
+        assert batch["trace_id"] == request.trace_id
+        assert evaluate["trace_id"] == request.trace_id
+        # parent chain: request -> service.query.batch -> evaluate
+        assert batch["parent_id"] == request.span_id
+        assert evaluate["parent_id"] == batch["span_id"]
+
+    def test_coalesce_batch_size_histogram_observed(self, served,
+                                                    schema):
+        from repro.obs import metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        _, _, frontend = served
+        frontend.batch_window_s = 0.05  # widen so submits coalesce
+        registry = MetricsRegistry()
+        previous = metrics.set_registry(registry)
+        try:
+            futures = [frontend.submit("p", q)
+                       for q in query_pool(schema, 16)]
+            for future in futures:
+                future.result(timeout=10)
+        finally:
+            metrics.set_registry(previous)
+        histogram = registry.get("repro_service_coalesce_batch_size")
+        snap = histogram.snapshot()
+        # every submitted query was observed in some micro-batch, in
+        # fewer batches than queries
+        assert snap["sum"] == 16
+        assert 1 <= snap["count"] < 16
+
+    def test_cache_entries_for_counts_per_publication(self, served,
+                                                      schema):
+        _, _, frontend = served
+        frontend.query_batch("p", query_pool(schema, 12))
+        assert frontend.cache_entries_for("p") == 12
+        assert frontend.cache_entries_for("other") == 0

@@ -16,6 +16,7 @@ import urllib.request
 
 import pytest
 
+from repro.obs.metrics import parse_prometheus_text
 from repro.service.http import ReproService, make_server
 
 from tests.service.conftest import make_rows
@@ -155,7 +156,7 @@ class TestEndToEnd:
         versions = {a["version"] for a in payload["answers"]}
         assert len(versions) == 1  # one snapshot for the whole batch
 
-        status, metrics = api("GET", "/metrics")
+        status, metrics = api("GET", "/metrics?format=json")
         assert status == 200
         spans = metrics["spans"]
         # the whole workload went through repro.query.batch in one
@@ -183,3 +184,111 @@ class TestEndToEnd:
         status, payload = api("POST", "/publications/p/query", QUERY)
         assert status == 200
         assert payload["answer"] == 0.0 and payload["version"] == 0
+
+
+@pytest.fixture()
+def raw(server):
+    """Fetch a path without assuming a JSON body; returns
+    (status, content_type, text)."""
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    def fetch(path, accept=None):
+        headers = {"Accept": accept} if accept else {}
+        request = urllib.request.Request(base + path, headers=headers)
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return (resp.status, resp.headers.get("Content-Type"),
+                    resp.read().decode("utf-8"))
+
+    return fetch
+
+
+class TestObservability:
+    def _exercise(self, api):
+        create_publication(api)
+        api("POST", "/publications/p/ingest", {"rows": make_rows(60)})
+        api("POST", "/publications/p/query", QUERY)
+        api("POST", "/publications/p/query", QUERY)  # cache hit
+
+    def test_metrics_serves_prometheus_by_default(self, api, raw):
+        self._exercise(api)
+        status, content_type, text = raw("/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        parsed = parse_prometheus_text(text)  # validates every line
+        assert parsed["repro_http_requests_total"]["type"] == "counter"
+        assert parsed["repro_http_request_seconds"]["type"] \
+            == "histogram"
+        # per-endpoint latency histogram series exist
+        assert any("endpoint=\"/publications/{name}/query\"" in key
+                   and "_bucket" in key
+                   for key in
+                   parsed["repro_http_request_seconds"]["samples"])
+        # cache counters (collector-mirrored) show the hit
+        assert parsed["repro_cache_hits_total"]["samples"][
+            "repro_cache_hits_total"] >= 1
+        assert "repro_cache_misses_total" in parsed
+        assert "repro_cache_evictions_total" in parsed
+
+    def test_metrics_privacy_audit_gauges(self, api, raw):
+        self._exercise(api)
+        status, _, text = raw("/metrics")
+        parsed = parse_prometheus_text(text)
+        gauges = parsed["repro_privacy_breach_probability"]
+        assert gauges["type"] == "gauge"
+        bounds = parsed["repro_privacy_breach_bound"]["samples"]
+        # every audited version respects the 1/l bound, and the ok
+        # gauge agrees
+        assert gauges["samples"]
+        for key, value in gauges["samples"].items():
+            assert 'publication="p"' in key and 'version="' in key
+            assert value <= 1.0 / 3 + 1e-12
+        assert all(v == 1.0 for v in
+                   parsed["repro_privacy_audit_ok"]["samples"]
+                   .values())
+        assert all(v == pytest.approx(1.0 / 3) for v in
+                   bounds.values())
+        assert "repro_privacy_eligibility_margin" in parsed
+        assert "repro_privacy_max_group_frequency" in parsed
+
+    def test_metrics_json_format(self, api, raw):
+        self._exercise(api)
+        status, content_type, text = raw("/metrics?format=json")
+        assert status == 200
+        assert content_type == "application/json"
+        document = json.loads(text)
+        assert "spans" in document and "metrics" in document
+        typed = document["metrics"]
+        assert typed["repro_http_requests_total"]["type"] == "counter"
+        # Accept-header negotiation also selects JSON
+        status, content_type, text = raw(
+            "/metrics", accept="application/json")
+        assert content_type == "application/json"
+        json.loads(text)
+
+    def test_metrics_unknown_format_rejected(self, api):
+        assert api("GET", "/metrics?format=xml")[0] == 400
+
+    def test_stats_endpoint(self, api):
+        self._exercise(api)
+        status, stats = api("GET", "/stats")
+        assert status == 200
+        cache = stats["cache"]
+        assert cache["hits"] >= 1 and cache["misses"] >= 1
+        assert {"hits", "misses", "evictions", "entries",
+                "capacity"} <= set(cache)
+        (pub,) = stats["publications"]
+        assert pub["publication"] == "p"
+        assert pub["cached_answers"] >= 1
+        audit = pub["privacy_audit"]
+        assert audit["ok"] is True
+        assert audit["breach_probability"] <= audit["breach_bound"]
+        assert audit["audited_version"] == pub["version"]
+
+    def test_publication_stats_include_privacy_audit(self, api):
+        self._exercise(api)
+        status, stats = api("GET", "/publications/p/stats")
+        assert status == 200
+        assert stats["privacy_audit"]["method"] == "adversary-exact"
+        assert stats["privacy_audit"]["eligibility_margin"] >= 0.0

@@ -22,6 +22,8 @@ MODULE_NAMES = [
     "repro.dataset.schema",
     "repro.dataset.table",
     "repro.generalization.mondrian",
+    "repro.obs.audit",
+    "repro.obs.logging",
     "repro.query.predicates",
     "repro.storage.engine",
 ]
