@@ -200,7 +200,7 @@ class AnatomizedTables:
     :attr:`st` alone.
     """
 
-    __slots__ = ("schema", "qit", "st", "partition")
+    __slots__ = ("schema", "qit", "st", "partition", "__weakref__")
 
     def __init__(self, schema: Schema, qit: QuasiIdentifierTable,
                  st: SensitiveTable,

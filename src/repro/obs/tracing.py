@@ -182,6 +182,39 @@ class Tracer:
                 self.dropped += 1
             self._spans.append(span.to_json())
 
+    def ingest_external(self, name: str, duration_s: float,
+                        context: ContextSnapshot | None = None, *,
+                        attributes: dict[str, Any] | None = None,
+                        start_s: float = 0.0) -> dict:
+        """Splice an externally timed region into the trace.
+
+        Work executed where the contextvar cannot reach — a worker
+        *process* of the sharding layer, most prominently — reports its
+        wall-clock duration back with its result; this records it as a
+        finished span parented to ``context`` (or as a root span when
+        ``context`` is ``None``), so per-shard timings appear as
+        children of the fan-out span that dispatched them.
+        """
+        if context is None:
+            trace_id, parent_id = _new_id(), None
+        else:
+            trace_id, parent_id = context.trace_id, context.span_id
+        record: dict[str, Any] = {
+            "name": name,
+            "trace_id": trace_id,
+            "span_id": _new_id(),
+            "parent_id": parent_id,
+            "start_s": start_s,
+            "duration_s": float(duration_s),
+        }
+        if attributes:
+            record["attributes"] = dict(attributes)
+        with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self.dropped += 1
+            self._spans.append(record)
+        return record
+
     def finished(self) -> list[dict]:
         """Finished span records, oldest first."""
         with self._lock:

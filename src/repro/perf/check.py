@@ -6,7 +6,7 @@ time regressed by more than the threshold (default 2x).  The quick-tier
 smoke job runs::
 
     REPRO_BENCH_SCALE=smoke python -m pytest benchmarks \
-        -k "algorithm_speed or batch_queries"
+        -k "algorithm_speed or batch_queries or service or shard"
     python -m repro.perf.check
 
 Record (or refresh) the baseline from the current summary with
@@ -78,6 +78,25 @@ def compare(current: dict, baseline: dict,
     return [line for _, line in regressed], notes
 
 
+def report_header(current: dict, baseline: dict) -> list[str]:
+    """Environment lines printed above the diff: the CPU count of this
+    runner plus the worker counts recorded in each summary's metadata,
+    so a "regression" caused by comparing a 16-core baseline against a
+    2-core runner is readable as such."""
+    def describe(document: dict) -> str:
+        metadata = document.get("metadata") or {}
+        fields = [f"{key}={metadata[key]}"
+                  for key in ("scale", "workers", "cpu_count")
+                  if key in metadata]
+        return ", ".join(fields) if fields else "no metadata"
+
+    return [
+        f"runner: cpu_count={os.cpu_count()}",
+        f"current:  {describe(current)}",
+        f"baseline: {describe(baseline)}",
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.perf.check",
@@ -96,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: no benchmark summary at {args.current}\n"
               f"usage: run the benchmark suite first, e.g.\n"
               f"  REPRO_BENCH_SCALE=smoke python -m pytest benchmarks "
-              f"-k 'algorithm_speed or batch_queries or service'\n"
+              f"-k 'algorithm_speed or batch_queries or service or shard'\n"
               f"then re-run python -m repro.perf.check",
               file=sys.stderr)
         return 2
@@ -116,6 +135,8 @@ def main(argv: list[str] | None = None) -> int:
               f"usage: regenerate with the benchmark suite, or refresh "
               f"the baseline with --update-baseline", file=sys.stderr)
         return 2
+    for line in report_header(current, baseline):
+        print(line)
     violations, notes = compare(current, baseline,
                                 threshold=args.threshold)
     for line in notes:

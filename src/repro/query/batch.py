@@ -50,6 +50,8 @@ batch machinery costs nothing extra at construction time.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from collections.abc import Sequence
 
 import numpy as np
@@ -294,6 +296,37 @@ class AnatomyIndex:
             counts |= contribution  # planes carry disjoint bits: | is +
         return counts
 
+    def evaluate_contributions(self, encoding: WorkloadEncoding
+                               ) -> np.ndarray:
+        """Shard-exact per-group contributions: the ``(Q, m)`` matrix
+        whose column ``j`` is ``count_j(V_s) * p_j`` for every query —
+        the exact-mode summands *before* the final sum over groups.
+
+        Every entry is computed with order-free arithmetic: the
+        sensitive contraction is integer-valued (exact under float64
+        BLAS no matter the blocking), and the predicate fraction is an
+        elementwise per-group divide.  A shard holding a contiguous
+        Group-ID slice therefore computes *the same columns* the
+        unsharded index would, so concatenating shard contributions in
+        Group-ID order and summing rows once
+        (:func:`combine_contributions`) reproduces
+        ``evaluate(encoding, mode="exact")`` **bit for bit** — the one
+        rounding-sensitive reduction happens exactly once, over the
+        same contiguous array, wherever the columns were computed.
+        """
+        out = np.empty((encoding.n_queries, self.m), dtype=np.float64)
+        if self.m == 0 or encoding.n_queries == 0:
+            return out
+        for lo, hi, wlo, whi in _chunks(encoding.n_queries):
+            counts = self._satisfied_counts(encoding, wlo, whi, hi - lo)
+            fractions = counts.T.astype(np.float64)
+            fractions /= self.group_sizes
+            count_s = (encoding.sens_indicator[lo:hi]
+                       @ self._st_matrix_f.T)
+            count_s *= fractions
+            out[lo:hi] = count_s
+        return out
+
     def evaluate(self, encoding: WorkloadEncoding,
                  mode: str = "exact") -> np.ndarray:
         """``sum_j count_j(V_s) * p_j`` for every query (Section 1.2)."""
@@ -324,6 +357,75 @@ class AnatomyIndex:
                 count_s *= fractions
                 out[lo:hi] = count_s.sum(axis=1)
         return out
+
+
+def combine_contributions(contributions: Sequence[np.ndarray],
+                          n_queries: int) -> np.ndarray:
+    """Combine per-shard :meth:`AnatomyIndex.evaluate_contributions`.
+
+    ``contributions`` must be ordered by the shards' Group-ID ranges;
+    concatenating them rebuilds the unsharded ``(Q, m)`` matrix exactly
+    (shards hold contiguous Group-ID slices and every entry is computed
+    with order-free arithmetic), and the single row sum then performs
+    the *same* contiguous pairwise reduction ``mode="exact"`` performs
+    — so the result is bit-identical to the unsharded exact path, for
+    every shard count.
+    """
+    blocks = [c for c in contributions if c.shape[1]]
+    if not blocks:
+        return np.zeros(n_queries, dtype=np.float64)
+    stacked = blocks[0] if len(blocks) == 1 else \
+        np.concatenate(blocks, axis=1)
+    return stacked.sum(axis=1)
+
+
+#: Release -> AnatomyIndex, weakly keyed so an index dies with its
+#: release; one mutex guards lookups and the hit/miss tally.
+_INDEX_CACHE: "weakref.WeakKeyDictionary[AnatomizedTables, AnatomyIndex]" \
+    = weakref.WeakKeyDictionary()
+_INDEX_CACHE_LOCK = threading.Lock()
+_INDEX_CACHE_TALLY = {"hits": 0, "misses": 0}
+
+
+def anatomy_index_for(published: AnatomizedTables) -> AnatomyIndex:
+    """The cached :class:`AnatomyIndex` for ``published``, built on first
+    use.
+
+    Releases are immutable once published, so the index is a pure
+    function of the release object; caching it means repeat estimator
+    constructions against the same release (every frontend request, in
+    the service) skip the O(n log n) rebuild.  Hits and misses are
+    tallied (see :func:`index_cache_stats`) and mirrored to
+    ``repro_index_cache_{hits,misses}_total`` when metrics are on.
+    """
+    with _INDEX_CACHE_LOCK:
+        index = _INDEX_CACHE.get(published)
+        hit = index is not None
+        _INDEX_CACHE_TALLY["hits" if hit else "misses"] += 1
+    if metrics.enabled():
+        metrics.inc("repro_index_cache_hits_total" if hit
+                    else "repro_index_cache_misses_total")
+    if not hit:
+        # Build outside the lock: concurrent first requests may build
+        # twice, but both indexes are equivalent and the last one wins.
+        index = AnatomyIndex(published)
+        with _INDEX_CACHE_LOCK:
+            index = _INDEX_CACHE.setdefault(published, index)
+    return index
+
+
+def index_cache_stats() -> dict[str, int]:
+    """Hit/miss/entry counts of the release->index cache."""
+    with _INDEX_CACHE_LOCK:
+        return {**_INDEX_CACHE_TALLY, "entries": len(_INDEX_CACHE)}
+
+
+def clear_index_cache() -> None:
+    """Drop cached indexes and reset the tally (tests)."""
+    with _INDEX_CACHE_LOCK:
+        _INDEX_CACHE.clear()
+        _INDEX_CACHE_TALLY["hits"] = 0
+        _INDEX_CACHE_TALLY["misses"] = 0
 
 
 class GeneralizationIndex:

@@ -34,10 +34,10 @@ from repro.dataset.table import Table
 from repro.exceptions import QueryError
 from repro.generalization.generalized_table import GeneralizedTable
 from repro.query.batch import (
-    AnatomyIndex,
     BatchEvaluator,
     GeneralizationIndex,
     MicrodataIndex,
+    anatomy_index_for,
 )
 from repro.query.predicates import CountQuery
 
@@ -74,7 +74,7 @@ class AnatomyEstimator(BatchEvaluator):
 
     def __init__(self, published: AnatomizedTables) -> None:
         self.published = published
-        self._index = AnatomyIndex(published)
+        self._index = anatomy_index_for(published)
         self._m = self._index.m
         self._st_matrix = self._index.st_matrix
         self._group_sizes = self._index.group_sizes

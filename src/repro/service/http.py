@@ -5,9 +5,12 @@ connection, no dependencies — in front of the thread-safe registry and
 frontend.  Endpoints (all bodies JSON):
 
 * ``GET  /publications`` — list publications with statistics.
-* ``POST /publications`` — create: ``{"name", "l", "schema", "seed"?}``
-  with the schema spec of
-  :func:`repro.service.registry.schema_from_json`.
+* ``POST /publications`` — create: ``{"name", "l", "schema", "seed"?,
+  "shards"?, "workers"?}`` with the schema spec of
+  :func:`repro.service.registry.schema_from_json`; ``shards > 1``
+  serves queries through the sharded fan-out of
+  :class:`~repro.shard.query.ShardedQueryEvaluator` (``workers``
+  processes, ``0``/``null`` = one per shard capped at the CPU count).
 * ``GET  /publications/<name>`` — one publication's statistics.
 * ``DELETE /publications/<name>`` — drop it.
 * ``POST /publications/<name>/ingest`` — ``{"rows": [[...], ...],
@@ -56,6 +59,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry
 from repro.perf import PerfRecorder, set_recorder
+from repro.query.batch import index_cache_stats
 from repro.query.predicates import CountQuery
 from repro.service.frontend import QueryFrontend
 from repro.service.registry import (
@@ -82,7 +86,11 @@ class ReproService:
                  batch_window_s: float = 0.001,
                  recorder: PerfRecorder | None = None,
                  trace: bool = False, log_json: bool = False,
-                 log_stream: TextIO | None = None) -> None:
+                 log_stream: TextIO | None = None,
+                 default_shards: int = 1,
+                 default_workers: int | None = 1) -> None:
+        self.default_shards = int(default_shards)
+        self.default_workers = default_workers
         self.registry = PublicationRegistry()
         self.frontend = QueryFrontend(
             self.registry, cache_size=cache_size,
@@ -191,6 +199,7 @@ class ReproService:
                 stats["publication"])
         return {
             "cache": self.frontend.cache_stats(),
+            "index_cache": index_cache_stats(),
             "publications": publications,
         }
 
@@ -445,8 +454,17 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         if schema_spec is None:
             raise _HTTPError(400, "create needs a 'schema' spec")
         schema = schema_from_json(schema_spec)
+        shards = body.get("shards", service.default_shards)
+        workers = body.get("workers", service.default_workers)
+        if not isinstance(shards, int) or shards < 1:
+            raise _HTTPError(400, "'shards' must be an integer >= 1")
+        if workers is not None and (not isinstance(workers, int)
+                                    or workers < 0):
+            raise _HTTPError(400, "'workers' must be an integer >= 0 "
+                                  "(0 = one per shard) or null")
         publication = service.registry.create(
-            name, schema, l, seed=body.get("seed", 0))
+            name, schema, l, seed=body.get("seed", 0), shards=shards,
+            workers=workers)
         payload = publication.stats()
         payload["schema"] = schema_to_json(schema)
         return 201, payload

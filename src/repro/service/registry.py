@@ -33,11 +33,13 @@ from repro.obs import metrics
 from repro.obs.audit import (
     PrivacyAudit,
     audit_publication,
+    audit_sharded_publication,
     record_publication_audit,
 )
 from repro.perf import span
 from repro.query.estimators import AnatomyEstimator
 from repro.service.locks import RWLock
+from repro.shard.query import ShardedQueryEvaluator
 
 
 def schema_to_json(schema: Schema) -> dict:
@@ -89,14 +91,20 @@ class PublicationSnapshot:
     before the first group seals — the empty release answers every COUNT
     with 0.  ``audit`` is the release's
     :class:`~repro.obs.audit.PrivacyAudit`, measured once when the
-    snapshot was built.
+    snapshot was built.  ``estimator`` is whatever object answers
+    ``estimate_workload`` for this publication: an
+    :class:`~repro.query.estimators.AnatomyEstimator` for single-shard
+    publications, a
+    :class:`~repro.shard.query.ShardedQueryEvaluator` when the
+    publication was created with ``shards > 1``.
     """
 
     __slots__ = ("name", "version", "release", "estimator", "audit")
 
     def __init__(self, name: str, version: int,
                  release: AnatomizedTables | None,
-                 estimator: AnatomyEstimator | None,
+                 estimator: AnatomyEstimator | ShardedQueryEvaluator
+                 | None,
                  audit: PrivacyAudit | None = None) -> None:
         self.name = name
         self.version = version
@@ -114,8 +122,13 @@ class Publication:
     """One named, growing, l-diverse publication."""
 
     def __init__(self, name: str, schema: Schema, l: int,
-                 seed: int | None = 0) -> None:
+                 seed: int | None = 0, *, shards: int = 1,
+                 workers: int | None = 1) -> None:
+        if int(shards) < 1:
+            raise ServiceError(f"shards must be >= 1, got {shards}")
         self.name = str(name)
+        self.shards = int(shards)
+        self.workers = workers
         self._anatomizer = IncrementalAnatomizer(schema, l, seed=seed)
         self._rwlock = RWLock()
         self._build_lock = threading.Lock()
@@ -192,16 +205,38 @@ class Publication:
                 if snap.version == version:
                     return snap
                 with span("service.snapshot", publication=self.name,
-                          version=version):
+                          version=version, shards=self.shards):
                     release = self._anatomizer.publish()
-                    estimator = AnatomyEstimator(release)
-                    audit = audit_publication(release,
-                                              self._anatomizer.l)
+                    estimator, audit = self._build_estimator(release)
                 record_publication_audit(self.name, version, audit)
+                previous = self._snapshot.estimator
                 snap = PublicationSnapshot(self.name, version, release,
                                            estimator, audit)
                 self._snapshot = snap
+                if isinstance(previous, ShardedQueryEvaluator):
+                    previous.close()
                 return snap
+
+    def _build_estimator(self, release: AnatomizedTables) -> tuple:
+        """The (estimator, audit) pair for one freshly published
+        release: fan-out evaluator plus shard-aware audit when the
+        publication shards its query path, the classic pair otherwise."""
+        l = self._anatomizer.l
+        if self.shards > 1:
+            estimator = ShardedQueryEvaluator(release, shards=self.shards,
+                                              workers=self.workers)
+            audit = audit_sharded_publication(
+                release, l, estimator.sharded.group_ranges)
+        else:
+            estimator = AnatomyEstimator(release)
+            audit = audit_publication(release, l)
+        return estimator, audit
+
+    def close(self) -> None:
+        """Release pooled resources (the sharded evaluator's workers)."""
+        estimator = self._snapshot.estimator
+        if isinstance(estimator, ShardedQueryEvaluator):
+            estimator.close()
 
     def release_at(self, version: int) -> AnatomizedTables:
         """The historical release at ``version`` (groups are immutable,
@@ -220,6 +255,8 @@ class Publication:
             return {
                 "publication": self.name,
                 "l": anat.l,
+                "shards": self.shards,
+                "workers": self.workers,
                 "version": anat.version,
                 "groups": anat.group_count,
                 "published_tuples": anat.published_tuple_count,
@@ -243,8 +280,10 @@ class PublicationRegistry:
         self._publications: dict[str, Publication] = {}
 
     def create(self, name: str, schema: Schema, l: int,
-               seed: int | None = 0) -> Publication:
-        publication = Publication(name, schema, l, seed=seed)
+               seed: int | None = 0, *, shards: int = 1,
+               workers: int | None = 1) -> Publication:
+        publication = Publication(name, schema, l, seed=seed,
+                                  shards=shards, workers=workers)
         with self._lock:
             if name in self._publications:
                 raise ServiceError(
@@ -263,8 +302,10 @@ class PublicationRegistry:
 
     def drop(self, name: str) -> None:
         with self._lock:
-            if self._publications.pop(name, None) is None:
-                raise ServiceError(f"unknown publication {name!r}")
+            publication = self._publications.pop(name, None)
+        if publication is None:
+            raise ServiceError(f"unknown publication {name!r}")
+        publication.close()
 
     def names(self) -> list[str]:
         with self._lock:

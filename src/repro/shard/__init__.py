@@ -1,0 +1,44 @@
+"""Sharded multi-core execution: parallel Anatomize and query fan-out.
+
+``repro.shard`` splits work along the one seam Anatomy leaves open —
+the QI-group — in both directions:
+
+* **publish**: :func:`shard_anatomize` hash-shards the microdata,
+  anatomizes each shard (optionally in a process pool), and merges the
+  per-shard releases under disjoint Group-ID ranges
+  (:mod:`repro.shard.plan`); the union is still l-diverse because
+  Theorem 1's bound is per group.
+* **query**: :class:`ShardedQueryEvaluator` slices a published release
+  into per-shard :class:`~repro.query.batch.AnatomyIndex` objects and
+  fans each :class:`~repro.query.batch.WorkloadEncoding` out across
+  them, recombining per-group contribution columns so the sharded
+  exact-mode answer is bit-identical to the unsharded exact path,
+  regardless of shard or worker count.
+
+See ``docs/SHARDING.md`` for the design and tuning notes.
+"""
+
+from repro.shard.anatomize import resolve_workers, shard_anatomize
+from repro.shard.plan import (
+    ShardedRelease,
+    check_disjoint_ranges,
+    group_offsets,
+    merge_anatomized,
+    shard_assignments,
+    shard_rows,
+    shard_table,
+)
+from repro.shard.query import ShardedQueryEvaluator
+
+__all__ = [
+    "ShardedQueryEvaluator",
+    "ShardedRelease",
+    "check_disjoint_ranges",
+    "group_offsets",
+    "merge_anatomized",
+    "resolve_workers",
+    "shard_anatomize",
+    "shard_assignments",
+    "shard_rows",
+    "shard_table",
+]

@@ -1,0 +1,212 @@
+"""Sharded, multi-core Anatomize: hash-shard the table, anatomize each
+shard on its own core, merge with disjoint Group-ID ranges.
+
+Correctness rests on the per-group nature of Theorem 1 (see
+:mod:`repro.shard.plan`): each shard's partition is l-diverse, so the
+merged partition is l-diverse, and the merged release certifies the
+same ``1/l`` bound as a single-core run.  The *composition* of the
+groups differs from the unsharded run (each shard only ever mixes its
+own rows), which is the usual sharding trade-off; Properties 1-3 hold
+per shard and therefore globally, with up to ``K * (l - 1)`` residue
+tuples overall instead of ``l - 1``.
+
+Determinism: the shard split is a stable hash of the row index and each
+shard's RNG seed is derived from the caller's seed via
+``SeedSequence(seed).generate_state(K)``, so the output depends only on
+``(table, l, shards, seed, method)`` — never on the worker count, the
+process pool's scheduling, or the platform.  ``shards=1`` bypasses the
+sharding layer entirely and is **bit-identical** to
+:func:`repro.core.anatomize.anatomize`.
+
+One caveat the error messages surface: the eligibility condition must
+hold *per shard* (at most ``n_k / l`` tuples of one sensitive value in
+shard ``k``).  Hash sharding keeps per-shard frequencies within
+sampling noise of global ones, so data with eligibility slack shards
+cleanly, but a table that is only *just* eligible may fail at high
+shard counts — use fewer shards or a smaller ``l``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.core.anatomize import anatomize
+from repro.core.partition import Partition
+from repro.core.tables import (
+    AnatomizedTables,
+    QuasiIdentifierTable,
+    SensitiveTable,
+)
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.exceptions import EligibilityError, ReproError
+from repro.obs import metrics, tracing
+from repro.perf import record, span
+from repro.shard.plan import group_offsets, merge_anatomized, shard_rows
+
+#: Globals of one worker process, set once by the pool initializer.
+_WORKER: dict = {}
+
+
+def resolve_workers(workers: int | None, shards: int) -> int:
+    """Effective worker count: ``None``/0 means one per shard capped at
+    the CPU count; never more workers than shards."""
+    if workers is None or int(workers) <= 0:
+        workers = min(shards, os.cpu_count() or 1)
+    return max(1, min(int(workers), shards))
+
+
+def _shard_seeds(seed: int | None, shards: int) -> list[int | None]:
+    """Independent per-shard seeds derived from one caller seed.
+
+    ``None`` (OS entropy) stays ``None`` per shard; an integer seed
+    expands through ``SeedSequence`` so shard streams are uncorrelated
+    yet fully determined by ``(seed, shards)``.
+    """
+    if seed is None:
+        return [None] * shards
+    state = np.random.SeedSequence(seed).generate_state(shards)
+    return [int(s) for s in state]
+
+
+def _init_worker(schema: Schema, l: int, method: str) -> None:
+    _WORKER["schema"] = schema
+    _WORKER["l"] = l
+    _WORKER["method"] = method
+
+
+def _anatomize_shard(task: tuple[int, np.ndarray, int | None]) -> tuple:
+    """Anatomize one shard; runs in a worker process (or inline).
+
+    Returns local (per-shard) QIT/ST arrays plus the group membership
+    as local row indices, so the parent can merge without re-deriving
+    anything, and the measured wall-clock seconds for span splicing.
+    """
+    k, codes, seed = task
+    schema: Schema = _WORKER["schema"]
+    start = time.perf_counter()
+    columns = {attr.name: codes[:, i]
+               for i, attr in enumerate(schema.attributes)}
+    table = Table(schema, columns, validate=False)
+    try:
+        published = anatomize(table, _WORKER["l"], seed=seed,
+                              method=_WORKER["method"])
+    except EligibilityError as exc:
+        raise EligibilityError(
+            f"shard {k} ({len(table)} rows) is not {_WORKER['l']}-"
+            f"eligible: {exc}; hash sharding cannot fix a sensitive "
+            f"value this frequent — reduce shards or l",
+            value=exc.value, count=exc.count, limit=exc.limit) from exc
+    groups = [group.indices for group in published.partition]
+    return (k, published.qit.qi_codes, published.qit.group_ids,
+            published.st.group_ids, published.st.sensitive_codes,
+            published.st.counts, groups,
+            time.perf_counter() - start)
+
+
+def _splice_shard_spans(name: str, results: list[tuple]) -> None:
+    """Feed worker-measured shard durations into the perf recorder and,
+    when tracing is on, splice them into the current trace as child
+    spans (the workers run in other processes, so their timings arrive
+    with the results rather than through the contextvar)."""
+    tracer = tracing.active_tracer()
+    context = tracing.capture_context()
+    for result in results:
+        k, duration = result[0], result[-1]
+        record(name, duration, shard=k)
+        if tracer is not None:
+            tracer.ingest_external(name, duration, context,
+                                   attributes={"shard": k})
+
+
+def shard_anatomize(table: Table, l: int, *, shards: int = 1,
+                    workers: int | None = 1, seed: int | None = 0,
+                    method: str = "heap") -> AnatomizedTables:
+    """Anatomize ``table`` in ``shards`` hash-disjoint shards, running
+    up to ``workers`` shards concurrently in separate processes.
+
+    Parameters
+    ----------
+    table, l, seed, method:
+        As :func:`repro.core.anatomize.anatomize`.  ``seed`` derives
+        one independent stream per shard.
+    shards:
+        Number of hash shards.  ``1`` (default) is bit-identical to the
+        sequential ``anatomize``; higher values trade group locality
+        for parallelism.
+    workers:
+        Process count; ``None`` or ``0`` picks ``min(shards,
+        cpu_count)``.  ``workers=1`` runs the shards sequentially in
+        this process with **bit-identical** output to any worker count.
+
+    Returns
+    -------
+    AnatomizedTables
+        The merged release with dense global Group-IDs (shard ``k``
+        owns a contiguous, disjoint range) and a merged
+        :class:`~repro.core.partition.Partition` over the original
+        table rows.
+    """
+    shards = int(shards)
+    if shards < 1:
+        raise ReproError(f"shards must be >= 1, got {shards}")
+    if shards == 1:
+        return anatomize(table, l, seed=seed, method=method)
+    workers = resolve_workers(workers, shards)
+
+    with span("shard.anatomize", n=len(table), l=l, shards=shards,
+              workers=workers, method=method):
+        rows_per_shard = shard_rows(len(table), shards)
+        qi_matrix = table.qi_matrix()
+        sensitive = table.sensitive_column
+        codes = np.column_stack([qi_matrix, sensitive]) if len(table) \
+            else np.empty((0, len(table.schema.attributes)),
+                          dtype=np.int32)
+        seeds = _shard_seeds(seed, shards)
+        tasks = [(k, np.ascontiguousarray(codes[rows]), seeds[k])
+                 for k, rows in enumerate(rows_per_shard)]
+
+        if workers == 1:
+            _init_worker(table.schema, l, method)
+            results = [_anatomize_shard(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=workers, initializer=_init_worker,
+                    initargs=(table.schema, l, method)) as pool:
+                results = list(pool.map(_anatomize_shard, tasks))
+        results.sort(key=lambda r: r[0])
+        _splice_shard_spans("shard.anatomize.shard", results)
+
+        merged = _merge_results(table, results, rows_per_shard)
+    if metrics.enabled():
+        metrics.inc("repro_shard_anatomize_total", shards=str(shards))
+        metrics.set_gauge("repro_shard_count", shards, path="anatomize")
+        metrics.set_gauge("repro_shard_workers", workers,
+                          path="anatomize")
+    return merged
+
+
+def _merge_results(table: Table, results: list[tuple],
+                   rows_per_shard: list[np.ndarray]) -> AnatomizedTables:
+    """Stitch per-shard outputs into one release + merged partition."""
+    schema = table.schema
+    offsets = group_offsets([int(r[2].max()) if len(r[2]) else 0
+                             for r in results])
+    global_groups: list[np.ndarray] = []
+    parts: list[AnatomizedTables] = []
+    for result in results:
+        k, qi_codes, qit_gids, st_gids, st_codes, st_counts, groups, _ \
+            = result
+        rows = rows_per_shard[k]
+        global_groups.extend(rows[g] for g in groups)
+        parts.append(AnatomizedTables(
+            schema,
+            QuasiIdentifierTable(schema, qi_codes, qit_gids),
+            SensitiveTable(schema, st_gids, st_codes, st_counts)))
+    partition = Partition(table, global_groups, validate=False) \
+        if global_groups else Partition(table, [], validate=False)
+    return merge_anatomized(parts, offsets=offsets, partition=partition)

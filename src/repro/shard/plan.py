@@ -1,0 +1,241 @@
+"""Shard planning: stable row hashing, Group-ID offsets, and merging.
+
+Anatomy is embarrassingly shardable because the l-diversity guarantee
+of Theorem 1 is *per QI-group*: if a microdata table is split into K
+disjoint shards and each shard is anatomized on its own, every group of
+the union still holds ``l`` (or ``l + 1``) tuples with pairwise
+distinct sensitive values, so the union is an l-diverse partition of
+the whole table.  The only global invariant the merge must maintain is
+that **Group-IDs stay disjoint across shards** — shard ``k`` publishes
+its groups under the ID range ``(offset_k, offset_k + m_k]`` where
+``offset_k`` is the total group count of the shards before it.
+
+Rows are assigned to shards by a stable integer hash of the row index
+(splitmix64 finalizer), so the same table always shards the same way on
+every platform and the assignment needs no coordination.  Hashing the
+*index* rather than the tuple keeps duplicate tuples spread across
+shards, which is what keeps the per-shard eligibility condition close
+to the global one.
+
+:class:`ShardedRelease` is the query-side counterpart: it slices an
+already-published release into per-shard sub-releases along contiguous
+Group-ID ranges, so a workload can fan out across per-shard
+:class:`~repro.query.batch.AnatomyIndex` objects and the per-shard
+COUNT contributions add back exactly (counts are sums over groups).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.tables import (
+    AnatomizedTables,
+    QuasiIdentifierTable,
+    SensitiveTable,
+)
+from repro.dataset.table import Table
+from repro.exceptions import ReproError
+
+#: splitmix64 finalizer constants (Steele et al.): a bijective mixer
+#: whose low bits pass SMHasher, so ``hash % shards`` is well spread.
+_MIX_MULT_1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MULT_2 = np.uint64(0x94D049BB133111EB)
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _check_shards(shards: int) -> int:
+    shards = int(shards)
+    if shards < 1:
+        raise ReproError(f"shards must be >= 1, got {shards}")
+    return shards
+
+
+def shard_assignments(n: int, shards: int) -> np.ndarray:
+    """Stable shard of every row index: ``splitmix64(i) mod shards``.
+
+    Deterministic across runs, platforms, and processes; adding rows
+    never changes the shard of an existing index.
+    """
+    shards = _check_shards(shards)
+    if shards == 1:
+        return np.zeros(n, dtype=np.int64)
+    with np.errstate(over="ignore"):
+        h = np.arange(n, dtype=np.uint64) * _GOLDEN
+        h ^= h >> np.uint64(30)
+        h *= _MIX_MULT_1
+        h ^= h >> np.uint64(27)
+        h *= _MIX_MULT_2
+        h ^= h >> np.uint64(31)
+    return (h % np.uint64(shards)).astype(np.int64)
+
+
+def shard_rows(n: int, shards: int) -> list[np.ndarray]:
+    """Row indices of each shard, ascending within a shard."""
+    assignment = shard_assignments(n, shards)
+    return [np.flatnonzero(assignment == k) for k in range(shards)]
+
+
+def shard_table(table: Table, shards: int) -> list[tuple[np.ndarray,
+                                                         Table]]:
+    """Split a table into ``shards`` hash-disjoint sub-tables.
+
+    Returns ``(rows, sub_table)`` pairs where ``rows`` maps the
+    sub-table's positions back to the original row indices.
+    """
+    return [(rows, table.take(rows))
+            for rows in shard_rows(len(table), shards)]
+
+
+def group_offsets(group_counts: Sequence[int]) -> list[int]:
+    """Group-ID offset of each shard: shard ``k`` publishes global IDs
+    ``offset_k + 1 .. offset_k + m_k``."""
+    offsets: list[int] = []
+    total = 0
+    for count in group_counts:
+        offsets.append(total)
+        total += int(count)
+    return offsets
+
+
+def _id_ranges(parts: Sequence[AnatomizedTables],
+               offsets: Sequence[int]) -> list[tuple[int, int]]:
+    """Inclusive global Group-ID range each shard would publish."""
+    ranges = []
+    for part, offset in zip(parts, offsets):
+        m = part.st.group_count()
+        ranges.append((offset + 1, offset + m) if m else (offset + 1,
+                                                          offset))
+    return ranges
+
+
+def check_disjoint_ranges(ranges: Sequence[tuple[int, int]]) -> None:
+    """Raise :class:`ReproError` unless the inclusive ID ranges are
+    pairwise disjoint (empty ranges, ``hi < lo``, never collide)."""
+    occupied = sorted((lo, hi, k) for k, (lo, hi) in enumerate(ranges)
+                      if hi >= lo)
+    for (lo_a, hi_a, a), (lo_b, hi_b, b) in zip(occupied, occupied[1:]):
+        if lo_b <= hi_a:
+            raise ReproError(
+                f"shard Group-ID ranges collide: shard {a} publishes "
+                f"[{lo_a}, {hi_a}] and shard {b} publishes "
+                f"[{lo_b}, {hi_b}]; a merged release would alias "
+                f"distinct QI-groups and void the l-diversity audit")
+
+
+def merge_anatomized(parts: Sequence[AnatomizedTables], *,
+                     offsets: Sequence[int] | None = None,
+                     partition=None) -> AnatomizedTables:
+    """Merge per-shard QIT/ST pairs into one release.
+
+    Each part must use local Group-IDs ``1..m_k``; shard ``k``'s IDs
+    are shifted by ``offsets[k]`` (default: cumulative group counts,
+    which yields dense global IDs ``1..m``).  Explicit ``offsets`` that
+    would make two shards publish overlapping ID ranges are rejected
+    with :class:`ReproError` — the merged ST would silently pool the
+    colliding groups' histograms and the per-group privacy guarantee
+    would no longer be auditable.
+    """
+    if not parts:
+        raise ReproError("cannot merge zero shards")
+    schema = parts[0].schema
+    for part in parts[1:]:
+        if part.schema != schema:
+            raise ReproError("cannot merge shards of different schemas")
+    if offsets is None:
+        offsets = group_offsets([p.st.group_count() for p in parts])
+    elif len(offsets) != len(parts):
+        raise ReproError(
+            f"{len(offsets)} offsets for {len(parts)} shards")
+    check_disjoint_ranges(_id_ranges(parts, offsets))
+
+    qi_codes = np.concatenate(
+        [p.qit.qi_codes for p in parts]) if parts else None
+    qit_gids = np.concatenate(
+        [p.qit.group_ids.astype(np.int64) + offset
+         for p, offset in zip(parts, offsets)])
+    st_gids = np.concatenate(
+        [p.st.group_ids.astype(np.int64) + offset
+         for p, offset in zip(parts, offsets)])
+    st_codes = np.concatenate([p.st.sensitive_codes for p in parts])
+    st_counts = np.concatenate([p.st.counts for p in parts])
+    qit = QuasiIdentifierTable(schema, qi_codes,
+                               qit_gids.astype(np.int32))
+    st = SensitiveTable(schema, st_gids.astype(np.int32), st_codes,
+                        st_counts)
+    return AnatomizedTables(schema, qit, st, partition=partition)
+
+
+class ShardedRelease:
+    """A published release sliced into per-shard sub-releases.
+
+    ``parts[k]`` is an :class:`AnatomizedTables` whose Group-IDs are
+    *local* (dense ``1..m_k``); ``group_ranges[k]`` is the inclusive
+    global ID range those groups carry in the merged release.  COUNT
+    estimates computed per shard therefore add to the merged release's
+    estimate exactly — group identity never enters the sum.
+    """
+
+    __slots__ = ("release", "parts", "group_ranges")
+
+    def __init__(self, release: AnatomizedTables,
+                 parts: Sequence[AnatomizedTables],
+                 group_ranges: Sequence[tuple[int, int]]) -> None:
+        self.release = release
+        self.parts = list(parts)
+        self.group_ranges = [tuple(r) for r in group_ranges]
+        check_disjoint_ranges(self.group_ranges)
+
+    @property
+    def shards(self) -> int:
+        return len(self.parts)
+
+    @classmethod
+    def split(cls, release: AnatomizedTables,
+              shards: int) -> "ShardedRelease":
+        """Slice a release into ``shards`` contiguous Group-ID ranges.
+
+        The QIT stores rows grouped by ascending Group-ID and the ST is
+        sorted the same way, so each shard is a pair of array slices;
+        Group-IDs are relabelled to local dense ``1..m_k``.  Shards
+        beyond the group count come back empty-ranged but the split
+        never exceeds ``shards`` parts (callers cap workers by parts).
+        """
+        shards = _check_shards(shards)
+        schema = release.schema
+        m = release.st.group_count()
+        shards = max(1, min(shards, m)) if m else 1
+        if shards == 1:
+            return cls(release, [release], [(1, m)])
+        bounds = np.linspace(0, m, shards + 1).astype(np.int64)
+        qit_gids = release.qit.group_ids
+        qi_codes = release.qit.qi_codes
+        if len(qit_gids) and np.any(np.diff(qit_gids) < 0):
+            # QIT rows are stored grouped by ascending Group-ID for
+            # every publisher in this library; re-sort defensively for
+            # externally constructed releases.
+            order = np.argsort(qit_gids, kind="stable")
+            qit_gids = qit_gids[order]
+            qi_codes = qi_codes[order]
+        st_gids = release.st.group_ids
+        parts: list[AnatomizedTables] = []
+        ranges: list[tuple[int, int]] = []
+        for k in range(shards):
+            lo, hi = int(bounds[k]), int(bounds[k + 1])  # IDs lo+1..hi
+            q0, q1 = np.searchsorted(qit_gids, (lo + 1, hi + 1))
+            s0, s1 = np.searchsorted(st_gids, (lo + 1, hi + 1))
+            qit = QuasiIdentifierTable(
+                schema, qi_codes[q0:q1],
+                qit_gids[q0:q1] - np.int32(lo))
+            st = SensitiveTable(
+                schema, st_gids[s0:s1] - np.int32(lo),
+                release.st.sensitive_codes[s0:s1],
+                release.st.counts[s0:s1])
+            parts.append(AnatomizedTables(schema, qit, st))
+            ranges.append((lo + 1, hi))
+        return cls(release, parts, ranges)
+
+    def __repr__(self) -> str:
+        return (f"ShardedRelease(shards={self.shards}, "
+                f"groups={self.release.st.group_count()})")

@@ -1,0 +1,96 @@
+"""Property-based tests for the sharded publish and query paths.
+
+Hypothesis draws random microdata and a shard count K in {1, 2, 4};
+the merged sharded anatomization must satisfy the paper's Properties
+1-3 and the eligibility condition just like the sequential publisher,
+and the sharded batch COUNT path must agree with the unsharded one —
+bit for bit in exact mode, within 1e-9 in fast mode.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.anatomize import anatomize
+from repro.core.diversity import max_feasible_l
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+from repro.query.estimators import AnatomyEstimator
+from repro.query.workload import make_workload
+from repro.shard import ShardedQueryEvaluator, shard_anatomize, shard_table
+
+
+def build_table(sensitive_codes: list[int]) -> Table:
+    schema = Schema([Attribute("A", range(32))],
+                    Attribute("S", range(32)))
+    n = len(sensitive_codes)
+    rng = np.random.default_rng(n)  # deterministic per size
+    return Table(schema, {
+        "A": rng.integers(0, 32, n).astype(np.int32),
+        "S": np.asarray(sensitive_codes, dtype=np.int32),
+    })
+
+
+# A strategy for (sensitive codes, shards, l) where every shard of the
+# hash-partitioned table is individually eligible at l — the condition
+# shard_anatomize itself requires (Theorem 1 is per group, but the
+# eligibility precondition is per shard).
+@st.composite
+def shardable_instance(draw):
+    n = draw(st.integers(min_value=24, max_value=160))
+    codes = draw(st.lists(st.integers(min_value=0, max_value=31),
+                          min_size=n, max_size=n))
+    shards = draw(st.sampled_from([1, 2, 4]))
+    table = build_table(codes)
+    parts = shard_table(table, shards)
+    assume(all(len(sub) >= 2 for _, sub in parts))
+    feasible = min(int(max_feasible_l(sub)) for _, sub in parts)
+    assume(feasible >= 2)
+    l = draw(st.integers(min_value=2, max_value=min(feasible, 6)))
+    return codes, shards, l
+
+
+@settings(max_examples=40, deadline=None)
+@given(shardable_instance())
+def test_merged_release_satisfies_properties_1_to_3(instance):
+    codes, shards, l = instance
+    table = build_table(codes)
+    merged = shard_anatomize(table, l, shards=shards, workers=1, seed=0)
+
+    # Property 1: the QIT/ST rows cover the table exactly once.
+    rows = np.sort(np.concatenate([g.indices for g in merged.partition]))
+    assert np.array_equal(rows, np.arange(len(table)))
+    assert merged.n == len(table)
+
+    # Property 2: every group holds >= l tuples.
+    st_table = merged.st
+    for gid in range(1, st_table.group_count() + 1):
+        assert st_table.group_size(gid) >= l
+
+    # Property 3: pairwise-distinct sensitive values per group.
+    assert int(st_table.counts.max()) == 1
+
+    # Definition 2 + Theorem 1: the merged release is l-diverse and the
+    # per-tuple breach bound holds.
+    assert merged.partition.is_l_diverse(l)
+    assert merged.breach_probability_bound() <= 1.0 / l + 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(shardable_instance())
+def test_sharded_count_matches_unsharded(instance):
+    codes, shards, l = instance
+    table = build_table(codes)
+    release = shard_anatomize(table, l, shards=shards, workers=1, seed=0)
+    queries = make_workload(table.schema, 1, 0.1, 24,
+                            seed=len(codes) + shards)
+    unsharded = AnatomyEstimator(release)
+    evaluator = ShardedQueryEvaluator(release, shards=shards, workers=1)
+
+    exact = evaluator.estimate_workload(queries, mode="exact")
+    assert np.array_equal(
+        exact, unsharded.estimate_workload(queries, mode="exact"))
+
+    fast = evaluator.estimate_workload(queries, mode="fast")
+    expected_fast = unsharded.estimate_workload(queries, mode="fast")
+    assert np.max(np.abs(fast - expected_fast), initial=0.0) <= 1e-9

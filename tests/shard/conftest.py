@@ -1,0 +1,31 @@
+"""Shared fixtures for the sharding-layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import Table
+
+
+@pytest.fixture()
+def schema():
+    """Two QI attributes, 30 sensitive values — enough diversity for
+    l up to ~6 per shard at the sizes the tests use."""
+    return Schema([Attribute("A", range(20)), Attribute("B", range(12))],
+                  Attribute("S", range(30)))
+
+
+def make_table(schema: Schema, n: int, seed: int = 7) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(schema, {
+        "A": rng.integers(0, 20, n).astype(np.int32),
+        "B": rng.integers(0, 12, n).astype(np.int32),
+        "S": rng.integers(0, 30, n).astype(np.int32),
+    })
+
+
+@pytest.fixture()
+def table(schema):
+    return make_table(schema, 2000)

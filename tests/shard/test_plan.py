@@ -1,0 +1,154 @@
+"""Shard planning: hashing, Group-ID offsets, merge, release split."""
+
+import numpy as np
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.exceptions import ReproError
+from repro.shard import (
+    ShardedRelease,
+    check_disjoint_ranges,
+    group_offsets,
+    merge_anatomized,
+    shard_assignments,
+    shard_rows,
+    shard_table,
+)
+from tests.shard.conftest import make_table
+
+
+class TestShardAssignments:
+    def test_deterministic_and_in_range(self):
+        first = shard_assignments(1000, 4)
+        second = shard_assignments(1000, 4)
+        assert np.array_equal(first, second)
+        assert first.min() >= 0 and first.max() < 4
+
+    def test_prefix_stable_under_growth(self):
+        # Appending rows never reshards existing ones.
+        small = shard_assignments(500, 8)
+        large = shard_assignments(2000, 8)
+        assert np.array_equal(large[:500], small)
+
+    def test_single_shard_is_trivial(self):
+        assert np.array_equal(shard_assignments(10, 1), np.zeros(10))
+
+    def test_roughly_balanced(self):
+        counts = np.bincount(shard_assignments(10_000, 4), minlength=4)
+        assert counts.min() > 2000  # sharp concentration around 2500
+
+    def test_invalid_shards(self):
+        with pytest.raises(ReproError, match="shards must be >= 1"):
+            shard_assignments(10, 0)
+
+    def test_shard_rows_partition_the_index_space(self):
+        rows = shard_rows(777, 3)
+        merged = np.sort(np.concatenate(rows))
+        assert np.array_equal(merged, np.arange(777))
+
+    def test_shard_table_round_trip(self, schema, table):
+        parts = shard_table(table, 4)
+        assert sum(len(sub) for _, sub in parts) == len(table)
+        for rows, sub in parts:
+            assert np.array_equal(sub.sensitive_column,
+                                  table.sensitive_column[rows])
+
+
+class TestOffsetsAndRanges:
+    def test_group_offsets_cumulative(self):
+        assert group_offsets([3, 0, 5, 2]) == [0, 3, 3, 8]
+
+    def test_disjoint_ranges_pass(self):
+        check_disjoint_ranges([(1, 3), (4, 10), (12, 12), (11, 10)])
+
+    def test_colliding_ranges_fail(self):
+        with pytest.raises(ReproError, match="Group-ID ranges collide"):
+            check_disjoint_ranges([(1, 5), (5, 9)])
+
+
+class TestMergeAnatomized:
+    def _parts(self, schema, table, shards=3, l=3):
+        return [anatomize(sub, l, seed=k)
+                for k, (_, sub) in enumerate(shard_table(table, shards))]
+
+    def test_merge_produces_dense_global_ids(self, schema, table):
+        parts = self._parts(schema, table)
+        merged = merge_anatomized(parts)
+        m = sum(p.st.group_count() for p in parts)
+        assert merged.st.group_count() == m
+        assert np.array_equal(np.unique(merged.qit.group_ids),
+                              np.arange(1, m + 1))
+        assert merged.n == sum(p.n for p in parts)
+
+    def test_merge_preserves_group_histograms(self, schema, table):
+        parts = self._parts(schema, table)
+        merged = merge_anatomized(parts)
+        offset = 0
+        for part in parts:
+            for gid in range(1, part.st.group_count() + 1):
+                local = part.st.group_histogram(gid)
+                merged_hist = merged.st.group_histogram(offset + gid)
+                assert local == merged_hist
+            offset += part.st.group_count()
+
+    def test_colliding_offsets_rejected(self, schema, table):
+        # The satellite regression: a deliberately colliding Group-ID
+        # merge must be rejected with ReproError, not silently pooled.
+        parts = self._parts(schema, table, shards=2)
+        with pytest.raises(ReproError, match="collide"):
+            merge_anatomized(parts, offsets=[0, 0])
+
+    def test_schema_mismatch_rejected(self, schema, table):
+        from repro.dataset.schema import Attribute, Schema
+        from repro.dataset.table import Table
+
+        other_schema = Schema([Attribute("A", range(20))],
+                              Attribute("S", range(30)))
+        rng = np.random.default_rng(5)
+        other = Table(other_schema, {
+            "A": rng.integers(0, 20, 300).astype(np.int32),
+            "S": rng.integers(0, 30, 300).astype(np.int32)})
+        foreign = anatomize(other, 2, seed=0)
+        native = anatomize(table, 2, seed=0)
+        with pytest.raises(ReproError, match="different schemas"):
+            merge_anatomized([native, foreign])
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ReproError, match="zero shards"):
+            merge_anatomized([])
+
+
+class TestShardedReleaseSplit:
+    def test_split_covers_all_groups(self, table):
+        release = anatomize(table, 4, seed=0)
+        m = release.st.group_count()
+        sharded = ShardedRelease.split(release, 4)
+        assert sharded.shards == 4
+        assert sum(p.st.group_count() for p in sharded.parts) == m
+        covered = []
+        for (lo, hi), part in zip(sharded.group_ranges, sharded.parts):
+            assert part.st.group_count() == hi - lo + 1
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(1, m + 1))
+
+    def test_split_parts_have_local_dense_ids(self, table):
+        release = anatomize(table, 4, seed=0)
+        for part in ShardedRelease.split(release, 3).parts:
+            m_k = part.st.group_count()
+            assert np.array_equal(np.unique(part.qit.group_ids),
+                                  np.arange(1, m_k + 1))
+
+    def test_split_preserves_histograms(self, table):
+        release = anatomize(table, 4, seed=0)
+        sharded = ShardedRelease.split(release, 5)
+        for (lo, _), part in zip(sharded.group_ranges, sharded.parts):
+            for gid in range(1, part.st.group_count() + 1):
+                assert part.st.group_histogram(gid) == \
+                    release.st.group_histogram(lo + gid - 1)
+
+    def test_split_caps_at_group_count(self, schema):
+        small = make_table(schema, 30, seed=3)
+        release = anatomize(small, 3, seed=0)
+        sharded = ShardedRelease.split(release,
+                                       release.st.group_count() + 50)
+        assert sharded.shards <= release.st.group_count()

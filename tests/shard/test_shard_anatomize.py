@@ -1,0 +1,153 @@
+"""Sharded Anatomize: bit-identity, merged-release validity, errors."""
+
+import numpy as np
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.exceptions import EligibilityError, ReproError
+from repro.obs import metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.shard import shard_anatomize, shard_rows
+from repro.shard.anatomize import resolve_workers
+from tests.shard.conftest import make_table
+
+
+def assert_releases_equal(a, b):
+    assert np.array_equal(a.qit.qi_codes, b.qit.qi_codes)
+    assert np.array_equal(a.qit.group_ids, b.qit.group_ids)
+    assert np.array_equal(a.st.group_ids, b.st.group_ids)
+    assert np.array_equal(a.st.sensitive_codes, b.st.sensitive_codes)
+    assert np.array_equal(a.st.counts, b.st.counts)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("method", ["heap", "fast"])
+    def test_single_shard_matches_sequential(self, table, method):
+        # The acceptance bar: shards=1, workers=1 must reproduce the
+        # sequential publisher byte for byte, both dealer methods.
+        sequential = anatomize(table, 4, seed=0, method=method)
+        sharded = shard_anatomize(table, 4, shards=1, workers=1, seed=0,
+                                  method=method)
+        assert_releases_equal(sequential, sharded)
+
+    def test_worker_count_never_changes_output(self, table):
+        one = shard_anatomize(table, 4, shards=3, workers=1, seed=0)
+        two = shard_anatomize(table, 4, shards=3, workers=2, seed=0)
+        assert_releases_equal(one, two)
+
+    def test_auto_workers(self, table):
+        auto = shard_anatomize(table, 4, shards=2, workers=0, seed=0)
+        one = shard_anatomize(table, 4, shards=2, workers=1, seed=0)
+        assert_releases_equal(auto, one)
+
+
+class TestMergedRelease:
+    def test_merged_release_is_l_diverse(self, table):
+        l = 4
+        merged = shard_anatomize(table, l, shards=4, workers=1, seed=0)
+        # Properties 1-3 on the merged release: every group has >= l
+        # tuples with pairwise distinct sensitive values.
+        st = merged.st
+        assert int(st.counts.max()) == 1
+        for gid in range(1, st.group_count() + 1):
+            assert st.group_size(gid) >= l
+        assert merged.breach_probability_bound() <= 1.0 / l + 1e-12
+        assert merged.partition is not None
+        assert merged.partition.is_l_diverse(l)
+
+    def test_merged_partition_covers_table_once(self, table):
+        merged = shard_anatomize(table, 4, shards=4, workers=1, seed=0)
+        rows = np.sort(np.concatenate(
+            [g.indices for g in merged.partition]))
+        assert np.array_equal(rows, np.arange(len(table)))
+
+    def test_groups_align_with_shard_plan(self, table):
+        # Each merged group's member rows come from exactly one shard.
+        shards = 4
+        merged = shard_anatomize(table, 4, shards=shards, workers=1,
+                                 seed=0)
+        assignment = np.zeros(len(table), dtype=np.int64)
+        for k, rows in enumerate(shard_rows(len(table), shards)):
+            assignment[rows] = k
+        for group in merged.partition:
+            owners = np.unique(assignment[group.indices])
+            assert len(owners) == 1
+
+    def test_dense_global_group_ids(self, table):
+        merged = shard_anatomize(table, 4, shards=3, workers=1, seed=0)
+        m = merged.st.group_count()
+        assert np.array_equal(np.unique(merged.st.group_ids),
+                              np.arange(1, m + 1))
+
+
+class TestErrors:
+    def test_invalid_shard_count(self, table):
+        with pytest.raises(ReproError, match="shards must be >= 1"):
+            shard_anatomize(table, 4, shards=0)
+
+    def test_per_shard_eligibility_failure_names_shard(self, schema):
+        # Globally eligible at l=2, but shard 0 is flooded with one
+        # sensitive value: the error must point at the shard.
+        n, shards = 400, 4
+        rows = shard_rows(n, shards)
+        sensitive = np.arange(n, dtype=np.int32) % 30
+        flood = rows[0][: len(rows[0]) // 2 + 2]
+        sensitive[flood] = 0
+        rng = np.random.default_rng(0)
+        from repro.dataset.table import Table
+
+        table = Table(schema, {
+            "A": rng.integers(0, 20, n).astype(np.int32),
+            "B": rng.integers(0, 12, n).astype(np.int32),
+            "S": sensitive,
+        })
+        assert int(np.bincount(sensitive).max()) <= n // 2  # eligible
+        anatomize(table, 2, seed=0)  # the unsharded publish succeeds
+        with pytest.raises(EligibilityError, match="shard 0"):
+            shard_anatomize(table, 2, shards=shards, workers=1, seed=0)
+
+
+class TestObservability:
+    def test_metrics_and_spans_recorded(self, table):
+        from repro.obs import tracing
+        from repro.perf import PerfRecorder, set_recorder
+
+        registry = MetricsRegistry()
+        tracer = tracing.Tracer()
+        recorder = PerfRecorder()
+        previous_registry = metrics.set_registry(registry)
+        previous_tracer = tracing.set_tracer(tracer)
+        previous_recorder = set_recorder(recorder)
+        try:
+            shard_anatomize(table, 4, shards=3, workers=1, seed=0)
+        finally:
+            metrics.set_registry(previous_registry)
+            tracing.set_tracer(previous_tracer)
+            set_recorder(previous_recorder)
+        assert registry.counter("repro_shard_anatomize_total",
+                                labelnames=("shards",)).value(
+                                    shards="3") == 1
+        assert registry.gauge("repro_shard_count",
+                              labelnames=("path",)).value(
+                                  path="anatomize") == 3
+        # One fan-out span plus one spliced child span per shard, all
+        # in the same trace.
+        fanout = tracer.find("shard.anatomize")
+        children = tracer.find("shard.anatomize.shard")
+        assert len(fanout) == 1 and len(children) == 3
+        for child in children:
+            assert child["trace_id"] == fanout[0]["trace_id"]
+            assert child["parent_id"] == fanout[0]["span_id"]
+        assert "shard.anatomize.shard" in recorder.totals()
+
+
+class TestResolveWorkers:
+    def test_explicit_capped_by_shards(self):
+        assert resolve_workers(8, 3) == 3
+
+    def test_auto_never_exceeds_shards(self):
+        assert resolve_workers(0, 2) <= 2
+        assert resolve_workers(None, 2) <= 2
+
+    def test_minimum_one(self):
+        assert resolve_workers(1, 5) == 1

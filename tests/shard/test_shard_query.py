@@ -1,0 +1,276 @@
+"""Sharded query fan-out: exact bit-identity, cache, service wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.anatomize import anatomize
+from repro.exceptions import QueryError, ReproError, ServiceError
+from repro.obs import metrics
+from repro.obs.audit import audit_sharded_publication
+from repro.obs.metrics import MetricsRegistry
+from repro.query.batch import (
+    WorkloadEncoding,
+    anatomy_index_for,
+    clear_index_cache,
+    index_cache_stats,
+)
+from repro.query.estimators import AnatomyEstimator
+from repro.query.workload import make_workload
+from repro.shard import ShardedQueryEvaluator
+from tests.shard.conftest import make_table
+
+from repro.dataset.schema import Attribute, Schema
+
+
+@pytest.fixture(scope="module")
+def mschema():
+    return Schema([Attribute("A", range(20)), Attribute("B", range(12))],
+                  Attribute("S", range(30)))
+
+
+@pytest.fixture(scope="module")
+def release(mschema):
+    return anatomize(make_table(mschema, 3000), 5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def workload(mschema):
+    return make_workload(mschema, 2, 0.05, 200, seed=11)
+
+
+@pytest.fixture(scope="module")
+def expected_exact(release, workload):
+    return AnatomyEstimator(release).estimate_workload(workload,
+                                                      mode="exact")
+
+
+class TestExactBitIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_inline_matches_unsharded(self, release, workload,
+                                      expected_exact, shards):
+        # The acceptance bar: sharded exact-mode COUNT answers are
+        # bit-identical to the unsharded estimator, not merely close.
+        evaluator = ShardedQueryEvaluator(release, shards=shards,
+                                          workers=1)
+        values = evaluator.estimate_workload(workload, mode="exact")
+        assert np.array_equal(values, expected_exact)
+
+    def test_pool_matches_unsharded(self, release, workload,
+                                    expected_exact):
+        with ShardedQueryEvaluator(release, shards=3,
+                                   workers=2) as evaluator:
+            values = evaluator.estimate_workload(workload, mode="exact")
+            again = evaluator.estimate_workload(workload, mode="exact")
+        assert np.array_equal(values, expected_exact)
+        assert np.array_equal(again, expected_exact)
+
+    def test_encoding_reuse(self, release, workload, expected_exact):
+        evaluator = ShardedQueryEvaluator(release, shards=2, workers=1)
+        encoding = evaluator.encode(workload)
+        first = evaluator.estimate_workload(encoding, mode="exact")
+        second = evaluator.estimate_workload(encoding, mode="exact")
+        assert np.array_equal(first, expected_exact)
+        assert np.array_equal(second, expected_exact)
+
+
+class TestFastMode:
+    def test_fast_mode_close_to_unsharded(self, release, workload):
+        expected = AnatomyEstimator(release).estimate_workload(
+            workload, mode="fast")
+        evaluator = ShardedQueryEvaluator(release, shards=4, workers=1)
+        values = evaluator.estimate_workload(workload, mode="fast")
+        assert np.max(np.abs(values - expected)) <= 1e-9
+
+
+class TestValidation:
+    def test_invalid_mode(self, release, workload):
+        evaluator = ShardedQueryEvaluator(release, shards=2, workers=1)
+        with pytest.raises(QueryError, match="unknown batch evaluation"):
+            evaluator.estimate_workload(workload, mode="turbo")
+
+    def test_schema_mismatch(self, release):
+        other = Schema([Attribute("X", range(9))],
+                       Attribute("S", range(4)))
+        foreign = WorkloadEncoding(other, make_workload(other, 1, 0.2,
+                                                        3, seed=0))
+        evaluator = ShardedQueryEvaluator(release, shards=2, workers=1)
+        with pytest.raises(QueryError, match="does not match"):
+            evaluator.estimate_workload(foreign, mode="exact")
+
+
+class TestIndexCache:
+    def test_cache_hits_and_misses_are_counted(self, release):
+        registry = MetricsRegistry()
+        previous = metrics.set_registry(registry)
+        try:
+            clear_index_cache()
+            first = anatomy_index_for(release)
+            second = anatomy_index_for(release)
+        finally:
+            metrics.set_registry(previous)
+        assert first is second
+        stats = index_cache_stats()
+        assert stats["misses"] >= 1
+        assert stats["hits"] >= 1
+        assert stats["entries"] >= 1
+        assert registry.counter(
+            "repro_index_cache_misses_total").value() == 1
+        assert registry.counter(
+            "repro_index_cache_hits_total").value() == 1
+
+    def test_inline_fanout_reuses_cached_indexes(self, release,
+                                                 workload):
+        clear_index_cache()
+        evaluator = ShardedQueryEvaluator(release, shards=3, workers=1)
+        evaluator.estimate_workload(workload, mode="exact")
+        after_first = index_cache_stats()
+        evaluator.estimate_workload(workload, mode="exact")
+        after_second = index_cache_stats()
+        assert after_first["misses"] == 3  # one build per shard
+        assert after_second["misses"] == 3  # second pass is all hits
+        assert after_second["hits"] >= after_first["hits"] + 3
+
+    def test_fanout_metrics(self, release, workload):
+        registry = MetricsRegistry()
+        previous = metrics.set_registry(registry)
+        try:
+            evaluator = ShardedQueryEvaluator(release, shards=2,
+                                              workers=1)
+            evaluator.estimate_workload(workload, mode="exact")
+        finally:
+            metrics.set_registry(previous)
+        assert registry.counter(
+            "repro_shard_query_fanout_total",
+            labelnames=("mode", "shards")).value(
+                mode="exact", shards="2") == 1
+        assert registry.gauge(
+            "repro_shard_count", labelnames=("path",)).value(
+                path="query") == 2
+
+
+class TestShardedAudit:
+    def test_valid_ranges_pass(self, release):
+        m = release.st.group_count()
+        mid = m // 2
+        audit = audit_sharded_publication(
+            release, 5, [(1, mid), (mid + 1, m)])
+        assert audit.ok
+        assert audit.breach_probability <= 1.0 / 5 + 1e-12
+
+    def test_colliding_ranges_rejected(self, release):
+        m = release.st.group_count()
+        with pytest.raises(ReproError, match="collide"):
+            audit_sharded_publication(release, 5, [(1, m), (1, m)])
+
+    def test_stray_group_ids_rejected(self, release):
+        m = release.st.group_count()
+        with pytest.raises(ReproError, match="outside"):
+            audit_sharded_publication(release, 5, [(1, m - 1)])
+
+
+class TestServiceIntegration:
+    SCHEMA = Schema([Attribute("A", range(50))],
+                    Attribute("S", range(20)))
+
+    @staticmethod
+    def _rows(count, start=0):
+        return [((start + i) * 7 % 50, (start + i) % 20)
+                for i in range(count)]
+
+    def _publication(self, shards, workers=1):
+        from repro.service.registry import Publication
+
+        publication = Publication("p", self.SCHEMA, 3, seed=0,
+                                  shards=shards, workers=workers)
+        publication.ingest(self._rows(400))
+        return publication
+
+    def test_sharded_publication_serves_identical_answers(self):
+        plain = self._publication(shards=1)
+        sharded = self._publication(shards=3)
+        queries = make_workload(self.SCHEMA, 1, 0.1, 50, seed=4)
+        expected = plain.snapshot().estimator.estimate_workload(
+            queries, mode="exact")
+        values = sharded.snapshot().estimator.estimate_workload(
+            queries, mode="exact")
+        sharded.close()
+        assert np.array_equal(values, expected)
+
+    def test_sharded_snapshot_audit_certifies_bound(self):
+        publication = self._publication(shards=3)
+        snap = publication.snapshot()
+        publication.close()
+        assert isinstance(snap.estimator, ShardedQueryEvaluator)
+        assert snap.audit is not None and snap.audit.ok
+        assert snap.audit.breach_probability <= 1.0 / 3 + 1e-12
+
+    def test_stats_report_shards_and_workers(self):
+        publication = self._publication(shards=3, workers=2)
+        stats = publication.stats()
+        publication.close()
+        assert stats["shards"] == 3
+        assert stats["workers"] == 2
+
+    def test_invalid_shards_rejected(self):
+        from repro.service.registry import Publication
+
+        with pytest.raises(ServiceError, match="shards must be >= 1"):
+            Publication("p", self.SCHEMA, 3, shards=0)
+
+
+class TestHTTPCreateWithShards:
+    SPEC = {"qi": [{"name": "A", "size": 50}],
+            "sensitive": {"name": "S", "size": 20}}
+
+    @pytest.fixture()
+    def api(self):
+        import json
+        import threading
+        import urllib.error
+        import urllib.request
+
+        from repro.service.http import ReproService, make_server
+
+        server = make_server(ReproService(batch_window_s=0.0), port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+
+        def call(method, path, body=None):
+            data = (json.dumps(body).encode()
+                    if body is not None else None)
+            request = urllib.request.Request(
+                base + path, data=data, method=method,
+                headers={"Content-Type": "application/json"})
+            try:
+                with urllib.request.urlopen(request, timeout=30) as r:
+                    return r.status, json.loads(r.read())
+            except urllib.error.HTTPError as exc:
+                return exc.code, json.loads(exc.read())
+
+        yield call
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+    def test_create_query_and_validate(self, api):
+        status, payload = api("POST", "/publications", {
+            "name": "p", "l": 3, "schema": self.SPEC, "shards": 2,
+            "workers": 1})
+        assert status == 201, payload
+        rows = [[i * 7 % 50, i % 20] for i in range(200)]
+        status, _ = api("POST", "/publications/p/ingest",
+                        {"rows": rows})
+        assert status == 200
+        status, stats = api("GET", "/publications/p/stats")
+        assert status == 200 and stats["shards"] == 2
+        status, answer = api("POST", "/publications/p/query", {
+            "qi": {"A": list(range(25))}, "sensitive": [0, 1, 2]})
+        assert status == 200 and answer["answer"] >= 0.0
+        status, error = api("POST", "/publications", {
+            "name": "q", "l": 3, "schema": self.SPEC, "shards": 0})
+        assert status == 400 and "shards" in error["error"]
