@@ -126,13 +126,26 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.monitor import CanaryConfig
+    from repro.obs.slo import load_slo_config
     from repro.service.http import ReproService, make_server
 
+    monitor_config = None
+    if args.monitor:
+        monitor_config = CanaryConfig(
+            interval_s=args.monitor_interval,
+            count=args.monitor_queries)
+    slo = load_slo_config(args.slo_config) if args.slo_config else None
     service = ReproService(mode=args.mode, cache_size=args.cache_size,
                            batch_window_s=args.batch_window_ms / 1000.0,
                            trace=args.trace, log_json=args.log_json,
                            default_shards=args.shards,
-                           default_workers=args.workers)
+                           default_workers=args.workers,
+                           monitor=args.monitor,
+                           monitor_config=monitor_config,
+                           slo=slo,
+                           telemetry_path=args.export_telemetry,
+                           telemetry_memory=args.telemetry_memory)
     server = make_server(service, host=args.host, port=args.port,
                          verbose=args.verbose)
     host, port = server.server_address[:2]
@@ -141,7 +154,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"batch_window={args.batch_window_ms:g} ms "
           f"shards={args.shards} workers={args.workers} "
           f"trace={'on' if args.trace else 'off'} "
-          f"log_json={'on' if args.log_json else 'off'}", flush=True)
+          f"log_json={'on' if args.log_json else 'off'} "
+          f"monitor={'on' if args.monitor else 'off'} "
+          f"slo={'on' if slo is not None else 'off'} "
+          f"telemetry={args.export_telemetry or 'off'}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -248,6 +264,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--log-json", action="store_true",
                    help="emit the request log as JSON lines with "
                         "trace/span IDs attached")
+    p.add_argument("--monitor", action="store_true",
+                   help="run the canary utility monitor: per "
+                        "publication, periodically measure the "
+                        "paper's relative COUNT error and export "
+                        "repro_utility_* gauges")
+    p.add_argument("--monitor-interval", type=float, default=5.0,
+                   help="canary cadence in seconds (default 5)")
+    p.add_argument("--monitor-queries", type=int, default=32,
+                   help="canary workload size (default 32)")
+    p.add_argument("--slo-config", metavar="PATH", default=None,
+                   help="JSON SLO thresholds; enables the tri-state "
+                        "/healthz verdict (see docs/OBSERVABILITY.md)")
+    p.add_argument("--export-telemetry", metavar="PATH", default=None,
+                   help="stream finished spans and metric snapshots "
+                        "to rotating JSON-lines files at PATH")
+    p.add_argument("--telemetry-memory", action="store_true",
+                   help="attach tracemalloc memory watermarks to "
+                        "exported top-level spans")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("experiment",

@@ -229,6 +229,29 @@ class IncrementalAnatomizer:
             self._release_cache = (version, release)
         return release
 
+    def microdata(self, at_version: int | None = None) -> Table:
+        """The *published* rows at ``at_version`` as a microdata table.
+
+        This is the retained ground truth behind the release
+        :meth:`publish` builds from the same sealed groups: row order
+        follows Group-ID order, buffered (unpublished) tuples are
+        excluded, so COUNT queries evaluated on it are the exact
+        answers the release's anatomized estimate approximates — the
+        canary utility monitor measures the paper's Section-7 relative
+        error against exactly this table.
+        """
+        version = self.version if at_version is None else int(at_version)
+        if not 1 <= version <= len(self._groups):
+            raise ReproError(
+                "nothing published yet: fewer than l distinct "
+                "sensitive values have arrived"
+                if not self._groups else
+                f"no release at version {version}; current version is "
+                f"{self.version}")
+        rows = [row for group in self._groups[:version] for row in group]
+        return Table.from_codes(self.schema,
+                                np.asarray(rows, dtype=np.int32))
+
     def flush_report(self) -> dict[str, int]:
         """Why the buffered tuples cannot be sealed yet: per sensitive
         code, how many are waiting (fewer than l distinct codes have

@@ -17,6 +17,18 @@ Four cooperating pieces, all stdlib-or-numpy only:
   exported as gauges labelled by publication version.  Imported lazily
   by callers, not here, because it pulls in the core package.
 
+Three higher-level consumers build on those primitives (imported
+lazily for the same reason — they pull in the query engine):
+
+* :mod:`repro.obs.monitor` — live canary utility monitoring: one
+  background worker per publication measures the paper's relative
+  error on a fixed workload and exports ``repro_utility_*`` gauges.
+* :mod:`repro.obs.slo` — rolling-window SLO evaluation over the
+  metrics registry, driving the tri-state ``GET /healthz``.
+* :mod:`repro.obs.export` — batching telemetry export of drained
+  spans and metric snapshots to rotating JSON-lines files, with
+  optional tracemalloc memory watermarks.
+
 Every hook is a no-op until something is installed (``set_tracer`` /
 ``set_registry``), costing a global load and a branch — cheap enough to
 live permanently on hot paths; ``tests/obs/test_overhead.py`` pins that

@@ -1,0 +1,251 @@
+"""Batching telemetry export: spans and metric snapshots to JSON lines.
+
+A :class:`TelemetryExporter` owns a background thread that periodically
+
+* drains the tracer's finished spans
+  (:meth:`~repro.obs.tracing.Tracer.drain` — atomic take, so each span
+  is exported exactly once even while request threads keep finishing
+  new ones), and
+* snapshots the metrics registry (:meth:`MetricsRegistry.to_json`,
+  collectors included),
+
+writing each as one JSON object per line::
+
+    {"kind": "span", "ts": ..., "span": {...}}
+    {"kind": "metrics", "ts": ..., "metrics": {...}}
+
+to a file with size-based rotation: when the file exceeds
+``max_bytes`` after a flush, it is shifted to ``<path>.1`` (existing
+``.1`` to ``.2``, …, the oldest beyond ``max_files`` deleted) and a
+fresh file is opened — bounded disk, no external log rotator needed.
+
+When ``memory_watermarks`` is on, the exporter runs :mod:`tracemalloc`
+and attaches the current/peak traced allocation sizes to every
+*top-level* span (``parent_id is None`` — one watermark per request
+or batch, not per nested span), resetting the peak after each flush so
+the watermark is per-interval, not since-boot.  Starting tracemalloc
+costs real allocation overhead, so it is opt-in and owned: if the
+exporter started it, the exporter stops it.
+
+The exporter is deliberately decoupled from the global hooks — it
+exports exactly the tracer/registry it was handed, so tests (and
+multi-service processes) can run isolated pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import tracemalloc
+
+from repro.exceptions import ReproError
+from repro.obs.logging import StructuredLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+#: Exporter self-telemetry (registered on the exported registry).
+COUNTER_SPANS = "repro_telemetry_spans_exported_total"
+COUNTER_FLUSHES = "repro_telemetry_flushes_total"
+COUNTER_BYTES = "repro_telemetry_bytes_written_total"
+COUNTER_ROTATIONS = "repro_telemetry_rotations_total"
+
+
+class TelemetryExporter:
+    """Drain spans and metric snapshots to a rotating JSON-lines file.
+
+    Parameters
+    ----------
+    path:
+        Output file; parent directory must exist.
+    tracer:
+        Tracer to drain; ``None`` exports metric snapshots only.
+    registry:
+        Metrics registry to snapshot (and to receive the exporter's
+        own counters); ``None`` exports spans only.
+    interval_s:
+        Background flush cadence.
+    max_bytes / max_files:
+        Rotation policy: rotate once the active file exceeds
+        ``max_bytes``; keep at most ``max_files`` rotated files.
+    memory_watermarks:
+        Attach tracemalloc current/peak bytes to top-level spans.
+    """
+
+    def __init__(self, path: str, *, tracer: Tracer | None = None,
+                 registry: MetricsRegistry | None = None,
+                 interval_s: float = 1.0,
+                 max_bytes: int = 4 << 20, max_files: int = 3,
+                 memory_watermarks: bool = False,
+                 logger: StructuredLogger | None = None) -> None:
+        if tracer is None and registry is None:
+            raise ReproError(
+                "telemetry exporter needs a tracer, a registry, or "
+                "both; got neither")
+        if max_bytes < 1:
+            raise ReproError(f"max_bytes must be >= 1, got {max_bytes}")
+        if max_files < 1:
+            raise ReproError(f"max_files must be >= 1, got {max_files}")
+        if interval_s <= 0:
+            raise ReproError(
+                f"interval_s must be > 0, got {interval_s}")
+        self.path = str(path)
+        self.tracer = tracer
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.max_bytes = int(max_bytes)
+        self.max_files = int(max_files)
+        self.memory_watermarks = bool(memory_watermarks)
+        self.logger = logger
+        self._file = None
+        self._io_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._owns_tracemalloc = False
+        if self.memory_watermarks and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+
+    # ------------------------------------------------------------------ #
+    # writing
+    # ------------------------------------------------------------------ #
+
+    def _ensure_file(self):
+        if self._file is None:
+            self._file = open(self.path, "a", encoding="utf-8")
+        return self._file
+
+    def _rotate_locked(self) -> None:
+        """Shift ``path`` -> ``path.1`` -> ... under the I/O lock."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        oldest = f"{self.path}.{self.max_files}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for i in range(self.max_files - 1, 0, -1):
+            source = f"{self.path}.{i}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{i + 1}")
+        if os.path.exists(self.path):
+            os.replace(self.path, f"{self.path}.1")
+        if self.registry is not None:
+            self.registry.inc(COUNTER_ROTATIONS)
+
+    def _watermark(self, spans: list[dict]) -> None:
+        """Attach per-interval memory watermarks to top-level spans."""
+        if not (self.memory_watermarks and tracemalloc.is_tracing()):
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        stamped = False
+        for span in spans:
+            if span.get("parent_id") is None:
+                attributes = span.setdefault("attributes", {})
+                attributes["memory_current_bytes"] = current
+                attributes["memory_peak_bytes"] = peak
+                stamped = True
+        if stamped:
+            tracemalloc.reset_peak()
+
+    def flush(self) -> dict:
+        """Drain and write one batch now; returns what was written.
+
+        Safe to call concurrently with the background thread (the I/O
+        lock serializes writers) and after :meth:`close` started — a
+        final explicit flush is how tests assert completeness.
+        """
+        spans = self.tracer.drain() if self.tracer is not None else []
+        self._watermark(spans)
+        now = time.time()
+        lines = [json.dumps({"kind": "span", "ts": now, "span": span},
+                            default=str)
+                 for span in spans]
+        if self.registry is not None:
+            lines.append(json.dumps(
+                {"kind": "metrics", "ts": now,
+                 "metrics": self.registry.to_json()}, default=str))
+        written = 0
+        with self._io_lock:
+            handle = self._ensure_file()
+            for line in lines:
+                written += handle.write(line + "\n")
+            handle.flush()
+            size = handle.tell()
+            rotated = size > self.max_bytes
+            if rotated:
+                self._rotate_locked()
+        if self.registry is not None:
+            if spans:
+                self.registry.inc(COUNTER_SPANS, len(spans))
+            self.registry.inc(COUNTER_FLUSHES)
+            self.registry.inc(COUNTER_BYTES, written)
+        return {"spans": len(spans), "bytes": written,
+                "rotated": rotated}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.flush()
+            except Exception as exc:  # never take the service down
+                if self.logger is not None:
+                    self.logger.error(
+                        "telemetry.flush_error",
+                        error=f"{type(exc).__name__}: {exc}")
+
+    def start(self) -> None:
+        """Start the background flusher (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry-exporter",
+            daemon=True)
+        self._thread.start()
+        if self.logger is not None:
+            self.logger.info("telemetry.start", path=self.path,
+                             interval_s=self.interval_s)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the flusher, write a final batch, release the file."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self._thread = None
+        try:
+            self.flush()
+        finally:
+            with self._io_lock:
+                if self._file is not None:
+                    self._file.close()
+                    self._file = None
+            if self._owns_tracemalloc and tracemalloc.is_tracing():
+                tracemalloc.stop()
+                self._owns_tracemalloc = False
+        if self.logger is not None:
+            self.logger.info("telemetry.stop", path=self.path)
+
+    def __enter__(self) -> "TelemetryExporter":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def read_telemetry(path: str) -> list[dict]:
+    """Parse one telemetry file (active or rotated) back into records —
+    the test-side inverse of the exporter's line format."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

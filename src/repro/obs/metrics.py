@@ -34,6 +34,7 @@ from __future__ import annotations
 import math
 import re
 import threading
+import time
 from bisect import bisect_left
 from collections.abc import Callable, Sequence
 
@@ -122,10 +123,14 @@ class Counter(_Metric):
     def set_total(self, value: float, **labels) -> None:
         """Mirror an externally-maintained monotonic total (collector
         use only; never mix with :meth:`inc` on the same series)."""
-        self._values[self._key(labels)] = float(value)
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
 
     def value(self, **labels) -> float:
-        return float(self._values.get(self._key(labels), 0.0))
+        key = self._key(labels)
+        with self._lock:
+            return float(self._values.get(key, 0.0))
 
     def samples(self) -> list[tuple[str, str, float]]:
         with self._lock:
@@ -148,7 +153,9 @@ class Gauge(Counter):
     kind = "gauge"
 
     def set(self, value: float, **labels) -> None:
-        self._values[self._key(labels)] = float(value)
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
 
     def add(self, delta: float, **labels) -> None:
         key = self._key(labels)
@@ -211,6 +218,19 @@ class Histogram(_Metric):
             return {"buckets": cumulative, "sum": series["sum"],
                     "count": series["count"]}
 
+    def quantile(self, q: float, **labels) -> float:
+        """Estimate the ``q``-quantile of one series by linear
+        interpolation within its bucket (see
+        :func:`quantile_from_buckets`); ``nan`` for an empty series."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._values.get(key)
+            counts = list(series["buckets"]) if series is not None \
+                else None
+        if counts is None:
+            return math.nan
+        return quantile_from_buckets(self.buckets, counts, q)
+
     def samples(self) -> list[tuple[str, str, float]]:
         rows: list[tuple[str, str, float]] = []
         with self._lock:
@@ -254,6 +274,49 @@ class Histogram(_Metric):
                 "count": int(series["count"]),
             }
         return out
+
+
+def quantile_from_buckets(bounds: Sequence[float],
+                          counts: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of a fixed-bucket histogram, Prometheus style.
+
+    ``bounds`` are the finite ``le`` upper bounds and ``counts`` the
+    per-bucket (non-cumulative) counts, with the trailing entry the
+    ``+Inf`` bucket (``len(counts) == len(bounds) + 1``).  Within the
+    containing bucket the quantile is linearly interpolated between the
+    bucket's lower and upper bound (the first bucket's lower bound is 0,
+    matching non-negative observations like latencies and sizes); a
+    quantile landing in the ``+Inf`` bucket is reported as the highest
+    finite bound, as ``histogram_quantile`` does.  Returns ``nan`` for
+    an empty histogram.
+
+    Examples
+    --------
+    >>> quantile_from_buckets((1.0, 2.0, 4.0), (0, 10, 0, 0), 0.5)
+    1.5
+    >>> quantile_from_buckets((1.0, 2.0), (0, 0, 5), 0.99)
+    2.0
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if len(counts) != len(bounds) + 1:
+        raise ValueError(
+            f"expected {len(bounds) + 1} bucket counts "
+            f"(finite bounds + the +Inf bucket), got {len(counts)}")
+    total = float(sum(counts))
+    if total <= 0.0:
+        return math.nan
+    target = q * total
+    cumulative = 0.0
+    for i, count in enumerate(counts[:-1]):
+        previous = cumulative
+        cumulative += float(count)
+        if cumulative >= target and count:
+            lower = float(bounds[i - 1]) if i else 0.0
+            upper = float(bounds[i])
+            fraction = (target - previous) / float(count)
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+    return float(bounds[-1])
 
 
 class MetricsRegistry:
@@ -462,6 +525,37 @@ def _split_label_pairs(label_text: str) -> list[str]:
     if current:
         pairs.append("".join(current))
     return pairs
+
+
+def register_build_info(registry: MetricsRegistry, *,
+                        version: str | None = None,
+                        start_time: float | None = None) -> None:
+    """Register the ``repro_build_info`` / ``repro_uptime_seconds``
+    gauge pair on ``registry``.
+
+    ``repro_build_info`` is the Prometheus build-info convention — a
+    constant ``1`` gauge whose labels carry the interesting values
+    (package version, python version) — and ``repro_uptime_seconds``
+    is refreshed by a render-time collector, so every scrape reports
+    the process age without any hot-path bookkeeping.
+    """
+    import platform
+
+    if version is None:
+        import repro
+
+        version = repro.__version__
+    registry.gauge(
+        "repro_build_info",
+        "Constant 1; labels carry the build identity",
+        labelnames=("version", "python")).set(
+            1.0, version=version, python=platform.python_version())
+    started = time.time() if start_time is None else float(start_time)
+    uptime = registry.gauge("repro_uptime_seconds",
+                            "Seconds since the process registered "
+                            "build info")
+    registry.register_collector(
+        lambda _reg: uptime.set(max(0.0, time.time() - started)))
 
 
 _active: MetricsRegistry | None = None

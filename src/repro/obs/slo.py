@@ -1,0 +1,379 @@
+"""Rolling-window SLO evaluation over the typed-metrics registry.
+
+A :class:`HealthEngine` turns the raw telemetry the service already
+exports — request counters, latency histograms, the canary monitor's
+utility gauges, the privacy-audit gauges — into one tri-state health
+verdict with per-SLO reasons, served by ``GET /healthz``:
+
+* ``ok`` — every configured SLO inside its degraded threshold;
+* ``degraded`` — at least one SLO past its degraded threshold but
+  none past failing (still serving, still 200);
+* ``failing`` — an SLO past its failing threshold, or the privacy
+  audit reporting a violated release (503: a privacy regression is
+  never "still serving").
+
+Rate-style SLOs (error burn, latency quantiles) are evaluated over a
+rolling window: the engine keeps timestamped snapshots of the
+cumulative counters and histogram buckets, and differences the newest
+against the oldest inside :attr:`SLOConfig.window_s` — so a burst of
+errors an hour ago does not keep the service red forever, and the
+latency p99 is the p99 of the *window*, not of all time (windowed
+bucket deltas fed to
+:func:`repro.obs.metrics.quantile_from_buckets`).  Gauge-style SLOs
+(utility error, privacy margin) read the current value.
+
+State *transitions* are alerts: every change is emitted as a
+structured ``slo.state_change`` event (warning level when entering
+``degraded``/``failing``, info when recovering) through the optional
+:class:`~repro.obs.logging.StructuredLogger`, and the current state is
+mirrored to the ``repro_slo_state`` gauge (0 ok / 1 degraded /
+2 failing) plus one ``repro_slo_ok{slo=...}`` gauge per configured
+SLO.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, fields
+
+from repro.exceptions import ReproError
+from repro.obs.audit import (
+    GAUGE_AUDIT_OK,
+    GAUGE_ELIGIBILITY_MARGIN,
+)
+from repro.obs.logging import StructuredLogger
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+from repro.obs.monitor import GAUGE_RELATIVE_ERROR
+
+#: Metric names the engine reads (the service exports all of them).
+REQUESTS_TOTAL = "repro_http_requests_total"
+REQUEST_SECONDS = "repro_http_request_seconds"
+
+#: Gauges the engine itself exports.
+GAUGE_STATE = "repro_slo_state"
+GAUGE_SLO_OK = "repro_slo_ok"
+
+_STATES = ("ok", "degraded", "failing")
+_STATE_CODE = {state: code for code, state in enumerate(_STATES)}
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Thresholds for the health verdict; ``None`` disables an SLO.
+
+    Each rate/latency/utility SLO has a *degraded* and a *failing*
+    threshold (exceeding the former yields ``degraded``, the latter
+    ``failing``).  The privacy margin only degrades — an actual audit
+    violation (``repro_privacy_audit_ok == 0``) is always ``failing``
+    regardless of configuration, because Theorem 1 is the product.
+    """
+
+    #: Rolling window for error-rate and latency SLOs, seconds.
+    window_s: float = 300.0
+    #: 5xx fraction of requests in the window.
+    error_rate_degraded: float | None = 0.05
+    error_rate_failing: float | None = 0.25
+    #: Windowed request-latency p99, seconds.
+    latency_p99_degraded_s: float | None = None
+    latency_p99_failing_s: float | None = None
+    #: Worst canary average relative error over all publications.
+    utility_error_degraded: float | None = None
+    utility_error_failing: float | None = None
+    #: Minimum l-eligibility margin before degrading (Section 4 slack).
+    privacy_margin_degraded: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ReproError(
+                f"SLO window must be > 0, got {self.window_s}")
+        for name in ("error_rate", "latency_p99", "utility_error"):
+            suffix = "_s" if name == "latency_p99" else ""
+            low = getattr(self, f"{name}_degraded{suffix}")
+            high = getattr(self, f"{name}_failing{suffix}")
+            if low is not None and high is not None and high < low:
+                raise ReproError(
+                    f"{name} failing threshold {high} is below the "
+                    f"degraded threshold {low}")
+
+    @classmethod
+    def from_json(cls, spec: dict) -> "SLOConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(spec) - known
+        if unknown:
+            raise ReproError(
+                f"unknown SLO config keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}")
+        return cls(**spec)
+
+    def to_json(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def load_slo_config(path: str) -> SLOConfig:
+    """Read an :class:`SLOConfig` from a JSON file (the CLI's
+    ``serve --slo-config``)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            spec = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot load SLO config {path!r}: {exc}") \
+            from None
+    if not isinstance(spec, dict):
+        raise ReproError(
+            f"SLO config {path!r} must be a JSON object")
+    return SLOConfig.from_json(spec)
+
+
+@dataclass
+class HealthStatus:
+    """One evaluated verdict: state plus the measurements behind it."""
+
+    state: str
+    #: Human-readable per-SLO breach descriptions (empty when ok).
+    reasons: list[str]
+    #: Measured values per SLO, for the ``/healthz`` body.
+    slos: dict
+
+    @property
+    def ok(self) -> bool:
+        return self.state == "ok"
+
+    def to_json(self) -> dict:
+        # NaN (no data yet) is not valid strict JSON; emit null.
+        slos = {name: {k: (None if isinstance(v, float)
+                           and math.isnan(v) else v)
+                       for k, v in slo.items()}
+                for name, slo in self.slos.items()}
+        return {"status": self.state, "reasons": list(self.reasons),
+                "slos": slos}
+
+
+class _Snapshot:
+    """One timestamped sample of the cumulative rate-SLO inputs."""
+
+    __slots__ = ("t", "requests", "errors", "bucket_counts")
+
+    def __init__(self, t: float, requests: float, errors: float,
+                 bucket_counts: list[float]) -> None:
+        self.t = t
+        self.requests = requests
+        self.errors = errors
+        self.bucket_counts = bucket_counts
+
+
+class HealthEngine:
+    """Evaluates :class:`SLOConfig` against a metrics registry."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 config: SLOConfig | None = None, *,
+                 logger: StructuredLogger | None = None,
+                 clock=time.monotonic) -> None:
+        self.registry = registry
+        self.config = config if config is not None else SLOConfig()
+        self.logger = logger
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._snapshots: deque[_Snapshot] = deque()
+        self._state = "ok"
+
+    # ------------------------------------------------------------------ #
+    # rolling-window sampling
+    # ------------------------------------------------------------------ #
+
+    def _http_totals(self) -> tuple[float, float]:
+        """Cumulative (requests, 5xx errors) over every endpoint."""
+        counter = self.registry.get(REQUESTS_TOTAL)
+        if counter is None:
+            return 0.0, 0.0
+        document = counter.to_json()
+        requests = errors = 0.0
+        # Series keys join label values in labelnames order
+        # (endpoint, method, status); status is the last element.
+        for key, value in document.get("values", {}).items():
+            requests += value
+            if key.rsplit(",", 1)[-1].startswith("5"):
+                errors += value
+        return requests, errors
+
+    def _latency_buckets(self) -> tuple[tuple[float, ...], list[float]]:
+        """The latency histogram's bounds plus cumulative per-bucket
+        counts summed across every (endpoint, method) series."""
+        histogram = self.registry.get(REQUEST_SECONDS)
+        if not isinstance(histogram, Histogram):
+            return (), []
+        document = histogram.to_json()
+        bounds = histogram.buckets
+        totals = [0.0] * (len(bounds) + 1)
+        for series in document.get("values", {}).values():
+            for i, count in enumerate(series["counts"]):
+                totals[i] += count
+        return bounds, totals
+
+    def observe(self) -> None:
+        """Record one rolling-window sample (also called implicitly by
+        :meth:`evaluate`, so an unpolled engine still converges)."""
+        requests, errors = self._http_totals()
+        _, bucket_counts = self._latency_buckets()
+        now = self._clock()
+        with self._lock:
+            self._snapshots.append(
+                _Snapshot(now, requests, errors, bucket_counts))
+            horizon = now - self.config.window_s
+            # Keep one sample at-or-before the horizon as the window's
+            # baseline; drop everything older than that.
+            while (len(self._snapshots) >= 2
+                   and self._snapshots[1].t <= horizon):
+                self._snapshots.popleft()
+
+    def _window(self) -> tuple[_Snapshot, _Snapshot] | None:
+        with self._lock:
+            if len(self._snapshots) < 2:
+                return None
+            return self._snapshots[0], self._snapshots[-1]
+
+    # ------------------------------------------------------------------ #
+    # gauge-style inputs
+    # ------------------------------------------------------------------ #
+
+    def _gauge_extreme(self, name: str, *, largest: bool) -> float:
+        gauge = self.registry.get(name)
+        if gauge is None:
+            return math.nan
+        document = gauge.to_json()
+        values = [v for v in document.get("values", {}).values()
+                  if not math.isnan(v)]
+        if "value" in document:
+            values.append(document["value"])
+        if not values:
+            return math.nan
+        return max(values) if largest else min(values)
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self) -> HealthStatus:
+        """Sample, measure every configured SLO, and emit transition
+        alerts; thread-safe."""
+        self.observe()
+        config = self.config
+        reasons: list[str] = []
+        slos: dict[str, dict] = {}
+        worst = ["ok"]
+
+        def judge(name: str, value: float, degraded: float | None,
+                  failing: float | None, unit: str) -> None:
+            if degraded is None and failing is None:
+                return
+            breached = "ok"
+            if not math.isnan(value):
+                if failing is not None and value > failing:
+                    breached = "failing"
+                elif degraded is not None and value > degraded:
+                    breached = "degraded"
+            slos[name] = {"value": value, "degraded": degraded,
+                          "failing": failing, "state": breached}
+            if breached != "ok":
+                threshold = failing if breached == "failing" \
+                    else degraded
+                reasons.append(
+                    f"{name} {value:.6g}{unit} exceeds the "
+                    f"{breached} threshold {threshold:.6g}{unit}")
+                if _STATE_CODE[breached] > _STATE_CODE[worst[0]]:
+                    worst[0] = breached
+
+        window = self._window()
+        error_rate = math.nan
+        latency_p99 = math.nan
+        if window is not None:
+            oldest, newest = window
+            delta_requests = newest.requests - oldest.requests
+            if delta_requests > 0:
+                error_rate = ((newest.errors - oldest.errors)
+                              / delta_requests)
+            bounds, _ = self._latency_buckets()
+            new_counts = newest.bucket_counts
+            # A baseline taken before the histogram existed means zero
+            # observations at that point, not "unknown".
+            old_counts = oldest.bucket_counts or [0.0] * len(new_counts)
+            if (bounds and len(new_counts) == len(bounds) + 1
+                    and len(old_counts) == len(new_counts)):
+                counts = [n - o
+                          for n, o in zip(new_counts, old_counts)]
+                if sum(counts) > 0:
+                    latency_p99 = quantile_from_buckets(bounds, counts,
+                                                        0.99)
+        judge("error_rate", error_rate, config.error_rate_degraded,
+              config.error_rate_failing, "")
+        judge("latency_p99", latency_p99,
+              config.latency_p99_degraded_s,
+              config.latency_p99_failing_s, "s")
+        judge("utility_error",
+              self._gauge_extreme(GAUGE_RELATIVE_ERROR, largest=True),
+              config.utility_error_degraded,
+              config.utility_error_failing, "")
+
+        # Privacy: the margin degrades below its floor (smaller is
+        # worse, unlike every judge() SLO); a violated audit fails
+        # unconditionally.
+        margin = self._gauge_extreme(GAUGE_ELIGIBILITY_MARGIN,
+                                     largest=False)
+        floor = config.privacy_margin_degraded
+        if floor is not None:
+            margin_state = "ok"
+            if not math.isnan(margin) and margin < floor:
+                margin_state = "degraded"
+                reasons.append(
+                    f"privacy_margin {margin:.6g} is below the "
+                    f"degraded floor {floor:.6g}")
+                if _STATE_CODE["degraded"] > _STATE_CODE[worst[0]]:
+                    worst[0] = "degraded"
+            slos["privacy_margin"] = {
+                "value": margin, "degraded": floor, "failing": None,
+                "state": margin_state}
+        audit_ok = self._gauge_extreme(GAUGE_AUDIT_OK, largest=False)
+        audit_state = "ok"
+        if not math.isnan(audit_ok) and audit_ok < 1.0:
+            audit_state = "failing"
+            reasons.append(
+                "privacy audit reports a release over the 1/l bound "
+                f"({GAUGE_AUDIT_OK} == 0)")
+            worst[0] = "failing"
+        slos["privacy_audit"] = {"value": audit_ok, "degraded": None,
+                                 "failing": None, "state": audit_state}
+
+        status = HealthStatus(worst[0], reasons, slos)
+        self._publish(status)
+        return status
+
+    def _publish(self, status: HealthStatus) -> None:
+        self.registry.gauge(
+            GAUGE_STATE,
+            "Health verdict: 0 ok, 1 degraded, 2 failing").set(
+                _STATE_CODE[status.state])
+        ok_gauge = self.registry.gauge(
+            GAUGE_SLO_OK, "1 while the named SLO is inside its "
+            "degraded threshold", labelnames=("slo",))
+        for name, detail in status.slos.items():
+            ok_gauge.set(1.0 if detail["state"] == "ok" else 0.0,
+                         slo=name)
+        with self._lock:
+            previous, self._state = self._state, status.state
+        if previous != status.state and self.logger is not None:
+            level = "info" if status.state == "ok" else "warning"
+            self.logger.log("slo.state_change", level=level,
+                            previous=previous, state=status.state,
+                            reasons=status.reasons)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state

@@ -157,12 +157,33 @@ _current: contextvars.ContextVar[Span | ContextSnapshot | None] = \
 
 
 class Tracer:
-    """Collects finished spans in a bounded ring buffer (thread-safe)."""
+    """Collects finished spans in a bounded ring buffer (thread-safe).
+
+    All buffer state — the deque *and* the drop tally — is guarded by
+    one lock, so concurrent finishers, :meth:`drain` (the telemetry
+    exporter's background thread), and renders never interleave
+    half-updates.  Ring-buffer overflow is no longer silent: each
+    dropped span bumps the ``repro_trace_spans_dropped_total`` counter
+    on the active metrics registry (when one is installed) in addition
+    to the local :attr:`dropped` tally.
+    """
 
     def __init__(self, max_spans: int = 10_000) -> None:
         self._spans: deque[dict] = deque(maxlen=max_spans)
         self._lock = threading.Lock()
-        self.dropped = 0
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """Spans lost to ring-buffer overflow since the last clear."""
+        with self._lock:
+            return self._dropped
+
+    def _record_drop_metric(self) -> None:
+        from repro.obs import metrics
+
+        if metrics.enabled():
+            metrics.inc("repro_trace_spans_dropped_total")
 
     def span(self, name: str, **attributes) -> Span:
         """Start (but do not enter) a span parented to the context's
@@ -178,9 +199,12 @@ class Tracer:
 
     def _finish(self, span: Span) -> None:
         with self._lock:
-            if len(self._spans) == self._spans.maxlen:
-                self.dropped += 1
+            dropping = len(self._spans) == self._spans.maxlen
+            if dropping:
+                self._dropped += 1
             self._spans.append(span.to_json())
+        if dropping:
+            self._record_drop_metric()
 
     def ingest_external(self, name: str, duration_s: float,
                         context: ContextSnapshot | None = None, *,
@@ -210,15 +234,32 @@ class Tracer:
         if attributes:
             record["attributes"] = dict(attributes)
         with self._lock:
-            if len(self._spans) == self._spans.maxlen:
-                self.dropped += 1
+            dropping = len(self._spans) == self._spans.maxlen
+            if dropping:
+                self._dropped += 1
             self._spans.append(record)
+        if dropping:
+            self._record_drop_metric()
         return record
 
     def finished(self) -> list[dict]:
         """Finished span records, oldest first."""
         with self._lock:
             return list(self._spans)
+
+    def drain(self) -> list[dict]:
+        """Atomically take (and remove) every finished span record.
+
+        This is the exporter's primitive: each finished span is handed
+        out exactly once, even with concurrent finishers — a span is
+        either still in the buffer for the next drain or in exactly one
+        drained batch, never both.  The drop tally is left untouched
+        (it is cumulative, like a counter).
+        """
+        with self._lock:
+            batch = list(self._spans)
+            self._spans.clear()
+        return batch
 
     def find(self, name: str) -> list[dict]:
         """Finished spans with the given name."""
@@ -227,7 +268,7 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
-            self.dropped = 0
+            self._dropped = 0
 
     def __len__(self) -> int:
         with self._lock:

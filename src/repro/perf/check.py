@@ -6,7 +6,7 @@ time regressed by more than the threshold (default 2x).  The quick-tier
 smoke job runs::
 
     REPRO_BENCH_SCALE=smoke python -m pytest benchmarks \
-        -k "algorithm_speed or batch_queries or service or shard"
+        -k "algorithm_speed or batch_queries or service or shard or monitor"
     python -m repro.perf.check
 
 Record (or refresh) the baseline from the current summary with
@@ -115,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: no benchmark summary at {args.current}\n"
               f"usage: run the benchmark suite first, e.g.\n"
               f"  REPRO_BENCH_SCALE=smoke python -m pytest benchmarks "
-              f"-k 'algorithm_speed or batch_queries or service or shard'\n"
+              f"-k 'algorithm_speed or batch_queries or service or shard or monitor'\n"
               f"then re-run python -m repro.perf.check",
               file=sys.stderr)
         return 2

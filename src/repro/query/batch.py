@@ -327,6 +327,53 @@ class AnatomyIndex:
             out[lo:hi] = count_s
         return out
 
+    def evaluate_with_variance(self, encoding: WorkloadEncoding
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        """Estimates plus the paper's Section-5.4 error variance.
+
+        The anatomy estimate models each group's qualifying sensitive
+        values as uniformly assigned among the group's tuples; under
+        that model the actual count in group ``j`` is hypergeometric
+        (``n_j`` tuples, ``c_j`` carrying a qualifying sensitive value,
+        ``a_j`` inside the QI region), so::
+
+            Var_j = a_j * (c_j/n_j) * (1 - c_j/n_j) * (n_j-a_j)/(n_j-1)
+
+        and the query's variance is the sum over groups (associations
+        are independent across groups).  Everything needed is already
+        published — the variance is computable from QIT + ST alone,
+        which is exactly why the canary utility monitor can fall back
+        to it when the retained microdata ground truth is unavailable:
+        ``sqrt(Var)/est`` is the model's expected relative error.
+
+        Returns ``(estimates, variances)``, both ``(Q,)`` float64 with
+        estimates identical to ``evaluate(mode="exact")``.
+        """
+        q_count = encoding.n_queries
+        est = np.empty(q_count, dtype=np.float64)
+        var = np.empty(q_count, dtype=np.float64)
+        if q_count == 0:
+            return est, var
+        if self.m == 0:
+            est.fill(0.0)
+            var.fill(0.0)
+            return est, var
+        sizes = self.group_sizes
+        denominator = np.maximum(sizes - 1.0, 1.0)
+        for lo, hi, wlo, whi in _chunks(q_count):
+            a = self._satisfied_counts(encoding, wlo, whi,
+                                       hi - lo).T.astype(np.float64)
+            c = encoding.sens_indicator[lo:hi] @ self._st_matrix_f.T
+            fractions = a / sizes
+            contributions = c * fractions
+            est[lo:hi] = contributions.sum(axis=1)
+            p = c / sizes
+            # a == n_j (or 0, or n_j == 1) makes the factor 0, so the
+            # clamped denominator never manufactures variance.
+            var[lo:hi] = (a * p * (1.0 - p)
+                          * ((sizes - a) / denominator)).sum(axis=1)
+        return est, var
+
     def evaluate(self, encoding: WorkloadEncoding,
                  mode: str = "exact") -> np.ndarray:
         """``sum_j count_j(V_s) * p_j`` for every query (Section 1.2)."""

@@ -75,6 +75,33 @@ def _supports_batch(evaluator) -> bool:
             and hasattr(evaluator, "encode"))
 
 
+def error_summary(actuals, estimates) -> WorkloadResult:
+    """The Section-6.1 error summary of aligned actual/estimate arrays.
+
+    Zero-actual queries are excluded (and counted), every survivor
+    contributes ``|act - est| / act`` — exactly the arithmetic of
+    :func:`evaluate_workload`, factored out so callers that obtain the
+    two arrays elsewhere (the live canary utility monitor most
+    prominently) produce bit-identical summaries to the offline path.
+    """
+    actuals = np.asarray(actuals, dtype=np.float64)
+    estimates = np.asarray(estimates, dtype=np.float64)
+    if actuals.shape != estimates.shape:
+        raise QueryError(
+            f"actuals and estimates must align, got shapes "
+            f"{actuals.shape} and {estimates.shape}")
+    keep = actuals != 0.0
+    kept_actuals = actuals[keep]
+    kept_estimates = estimates[keep]
+    errors = np.abs(kept_actuals - kept_estimates) / kept_actuals
+    return WorkloadResult(
+        errors=errors.tolist(),
+        skipped_zero_actual=int(np.count_nonzero(~keep)),
+        actuals=kept_actuals.tolist(),
+        estimates=kept_estimates.tolist(),
+    )
+
+
 def _evaluate_batch(queries: Sequence[CountQuery], exact,
                     estimators: dict[str, object],
                     mode: str) -> dict[str, WorkloadResult]:
@@ -83,24 +110,12 @@ def _evaluate_batch(queries: Sequence[CountQuery], exact,
     if not queries:
         return {name: WorkloadResult() for name in estimators}
     encoding = exact.encode(queries)
-    actuals = np.asarray(exact.estimate_workload(encoding, mode=mode),
-                         dtype=np.float64)
-    keep = actuals != 0.0
-    skipped = int(np.count_nonzero(~keep))
-    kept_actuals = actuals[keep]
-    results = {}
-    for name, estimator in estimators.items():
-        estimates = np.asarray(
-            estimator.estimate_workload(encoding, mode=mode),
-            dtype=np.float64)[keep]
-        errors = np.abs(kept_actuals - estimates) / kept_actuals
-        results[name] = WorkloadResult(
-            errors=errors.tolist(),
-            skipped_zero_actual=skipped,
-            actuals=kept_actuals.tolist(),
-            estimates=estimates.tolist(),
-        )
-    return results
+    actuals = exact.estimate_workload(encoding, mode=mode)
+    return {
+        name: error_summary(
+            actuals, estimator.estimate_workload(encoding, mode=mode))
+        for name, estimator in estimators.items()
+    }
 
 
 def evaluate_workload(queries: Sequence[CountQuery],

@@ -31,8 +31,21 @@ frontend.  Endpoints (all bodies JSON):
   ``Accept: application/json``) returns the JSON document instead,
   which also carries the perf recorder's per-span aggregates
   (:meth:`repro.perf.PerfRecorder.totals`).
-* ``GET  /stats`` — service-wide statistics: cache counters plus every
-  publication's stats (including its latest privacy audit).
+* ``GET  /stats`` — service-wide statistics: cache counters, per
+  endpoint latency quantiles (p50/p99 interpolated from the request
+  histogram), every publication's stats (including its latest privacy
+  audit), and — when the canary monitor runs — the last utility report
+  per publication.
+* ``GET  /healthz`` — liveness, and with ``serve --slo-config`` the
+  tri-state SLO verdict of :class:`repro.obs.slo.HealthEngine`:
+  ``ok``/``degraded`` answer 200, ``failing`` answers 503, each with
+  per-SLO reasons and measured values in the body.
+
+With ``serve --monitor`` a :class:`repro.obs.monitor.CanaryMonitor`
+measures each publication's live utility (``repro_utility_*`` gauges on
+``/metrics``); with ``--export-telemetry PATH`` a
+:class:`repro.obs.export.TelemetryExporter` streams finished trace
+spans and metric snapshots to rotating JSON-lines files.
 
 Error mapping: malformed requests and ``ReproError`` subclasses are
 400, unknown publications/paths 404, duplicate creation 409.
@@ -57,7 +70,14 @@ from repro.exceptions import ReproError, ServiceError
 from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.export import TelemetryExporter
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    register_build_info,
+)
+from repro.obs.monitor import CanaryConfig, CanaryMonitor
+from repro.obs.slo import HealthEngine, SLOConfig
 from repro.perf import PerfRecorder, set_recorder
 from repro.query.batch import index_cache_stats
 from repro.query.predicates import CountQuery
@@ -79,8 +99,14 @@ _UNSET = object()
 
 class ReproService:
     """Bundles registry, frontend, and the observability stack
-    (perf recorder, typed-metrics registry, optional tracer and
-    structured logger) for serving."""
+    (perf recorder, typed-metrics registry, optional tracer,
+    structured logger, canary utility monitor, SLO health engine, and
+    telemetry exporter) for serving.
+
+    The monitor/health/exporter trio is strictly opt-in: with the
+    defaults nothing is constructed, no background thread starts, and
+    the request path is exactly the plain service.
+    """
 
     def __init__(self, *, mode: str = "exact", cache_size: int = 4096,
                  batch_window_s: float = 0.001,
@@ -88,7 +114,13 @@ class ReproService:
                  trace: bool = False, log_json: bool = False,
                  log_stream: TextIO | None = None,
                  default_shards: int = 1,
-                 default_workers: int | None = 1) -> None:
+                 default_workers: int | None = 1,
+                 monitor: bool = False,
+                 monitor_config: CanaryConfig | None = None,
+                 slo: SLOConfig | None = None,
+                 telemetry_path: str | None = None,
+                 telemetry_interval_s: float = 1.0,
+                 telemetry_memory: bool = False) -> None:
         self.default_shards = int(default_shards)
         self.default_workers = default_workers
         self.registry = PublicationRegistry()
@@ -99,14 +131,40 @@ class ReproService:
             else PerfRecorder(role="repro.service")
         self.metrics_registry = MetricsRegistry()
         self.metrics_registry.register_collector(self._collect)
+        register_build_info(self.metrics_registry)
         self.tracer = tracing.Tracer() if trace else None
         self.logger = obs_logging.StructuredLogger(
             stream=log_stream if log_stream is not None else sys.stderr,
             service="repro.service") if log_json else None
+        self.monitor: CanaryMonitor | None = None
+        if monitor or monitor_config is not None:
+            self.monitor = CanaryMonitor(
+                self.registry, config=monitor_config,
+                metrics=self.metrics_registry, logger=self.logger)
+        self.health: HealthEngine | None = None
+        if slo is not None:
+            self.health = HealthEngine(self.metrics_registry, slo,
+                                       logger=self.logger)
+        self.exporter: TelemetryExporter | None = None
+        if telemetry_path is not None:
+            self.exporter = TelemetryExporter(
+                telemetry_path, tracer=self.tracer,
+                registry=self.metrics_registry,
+                interval_s=telemetry_interval_s,
+                memory_watermarks=telemetry_memory,
+                logger=self.logger)
         self._previous_recorder: object = _UNSET
         self._previous_registry: object = _UNSET
         self._previous_tracer: object = _UNSET
         self._lock = threading.Lock()
+
+    def start_background(self) -> None:
+        """Start the opt-in background workers (canary monitor,
+        telemetry exporter); a no-op for whichever is disabled."""
+        if self.monitor is not None:
+            self.monitor.start()
+        if self.exporter is not None:
+            self.exporter.start()
 
     def install_recorder(self) -> None:
         """Route the global observability hooks to this service: perf
@@ -191,19 +249,62 @@ class ReproService:
         """The typed-metrics registry in Prometheus text exposition."""
         return self.metrics_registry.render_prometheus()
 
+    def latency_stats(self) -> dict:
+        """Per-endpoint latency quantiles from the request histogram
+        (linear interpolation within buckets; series with no
+        observations are omitted)."""
+        histogram = self.metrics_registry.get(
+            "repro_http_request_seconds")
+        if not isinstance(histogram, Histogram):
+            return {}
+        out: dict[str, dict] = {}
+        for key, series in histogram.to_json()["values"].items():
+            if not series["count"]:
+                continue
+            labels = dict(zip(histogram.labelnames, key.split(",")))
+            out[key] = {
+                "labels": labels,
+                "count": series["count"],
+                "p50_s": histogram.quantile(0.5, **labels),
+                "p99_s": histogram.quantile(0.99, **labels),
+            }
+        return out
+
     def stats(self) -> dict:
         """Service-wide statistics for ``GET /stats``."""
         publications = self.registry.stats()
         for stats in publications:
             stats["cached_answers"] = self.frontend.cache_entries_for(
                 stats["publication"])
-        return {
+        document = {
             "cache": self.frontend.cache_stats(),
             "index_cache": index_cache_stats(),
+            "latency": self.latency_stats(),
             "publications": publications,
         }
+        if self.monitor is not None:
+            document["utility"] = {
+                name: report.to_json()
+                for name, report in self.monitor.reports().items()}
+        return document
+
+    def healthz(self) -> tuple[int, dict]:
+        """The ``GET /healthz`` verdict: tri-state when an SLO config
+        is installed (``failing`` maps to 503), the historical plain
+        200/ok otherwise."""
+        payload: dict = {"status": "ok",
+                         "publications": len(self.registry)}
+        if self.health is None:
+            return 200, payload
+        status = self.health.evaluate()
+        payload.update(status.to_json())
+        return (503 if status.state == "failing" else 200), payload
 
     def close(self) -> None:
+        if self.monitor is not None:
+            self.monitor.close()
+        if self.exporter is not None:
+            self.exporter.close()
         self.frontend.close()
         self.restore_recorder()
 
@@ -411,8 +512,7 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
         if parts == ["stats"] and method == "GET":
             return 200, service.stats()
         if parts == ["healthz"] and method == "GET":
-            return 200, {"status": "ok",
-                         "publications": len(service.registry)}
+            return service.healthz()
         if not parts or parts[0] != "publications":
             raise _HTTPError(404, f"no route for {method} {self.path}")
         if len(parts) == 1:
@@ -464,7 +564,8 @@ class ReproRequestHandler(BaseHTTPRequestHandler):
                                   "(0 = one per shard) or null")
         publication = service.registry.create(
             name, schema, l, seed=body.get("seed", 0), shards=shards,
-            workers=workers)
+            workers=workers,
+            retain_microdata=bool(body.get("retain_microdata", True)))
         payload = publication.stats()
         payload["schema"] = schema_to_json(schema)
         return 201, payload
@@ -539,4 +640,5 @@ def make_server(service: ReproService | None = None,
     server = ReproHTTPServer((host, port), service, verbose=verbose)
     if install_recorder:
         service.install_recorder()
+    service.start_background()
     return server

@@ -123,12 +123,20 @@ class Publication:
 
     def __init__(self, name: str, schema: Schema, l: int,
                  seed: int | None = 0, *, shards: int = 1,
-                 workers: int | None = 1) -> None:
+                 workers: int | None = 1,
+                 retain_microdata: bool = True) -> None:
         if int(shards) < 1:
             raise ServiceError(f"shards must be >= 1, got {shards}")
         self.name = str(name)
         self.shards = int(shards)
         self.workers = workers
+        #: Policy switch for ground-truth access: with
+        #: ``retain_microdata=False`` the publication refuses to hand
+        #: out the rows behind its releases (the canary monitor then
+        #: falls back to the Section-5.4 error model).  The anatomizer
+        #: still holds the sealed rows — it needs them to extend the
+        #: release — but nothing outside the write path reads them.
+        self.retain_microdata = bool(retain_microdata)
         self._anatomizer = IncrementalAnatomizer(schema, l, seed=seed)
         self._rwlock = RWLock()
         self._build_lock = threading.Lock()
@@ -238,6 +246,24 @@ class Publication:
         if isinstance(estimator, ShardedQueryEvaluator):
             estimator.close()
 
+    def ground_truth_table(self, at_version: int | None = None):
+        """The published microdata behind one release, or ``None``.
+
+        ``None`` when the publication was created with
+        ``retain_microdata=False`` (ground truth is policy-walled) or
+        when nothing has been published yet.  Taken under the read
+        lock so a concurrent ingest can never hand back rows from a
+        half-sealed release.
+        """
+        if not self.retain_microdata:
+            return None
+        with self._rwlock.read_locked():
+            version = self._anatomizer.version if at_version is None \
+                else int(at_version)
+            if version == 0:
+                return None
+            return self._anatomizer.microdata(at_version=version)
+
     def release_at(self, version: int) -> AnatomizedTables:
         """The historical release at ``version`` (groups are immutable,
         so it is the first ``version`` groups of the current state)."""
@@ -257,6 +283,7 @@ class Publication:
                 "l": anat.l,
                 "shards": self.shards,
                 "workers": self.workers,
+                "retain_microdata": self.retain_microdata,
                 "version": anat.version,
                 "groups": anat.group_count,
                 "published_tuples": anat.published_tuple_count,
@@ -281,9 +308,11 @@ class PublicationRegistry:
 
     def create(self, name: str, schema: Schema, l: int,
                seed: int | None = 0, *, shards: int = 1,
-               workers: int | None = 1) -> Publication:
+               workers: int | None = 1,
+               retain_microdata: bool = True) -> Publication:
         publication = Publication(name, schema, l, seed=seed,
-                                  shards=shards, workers=workers)
+                                  shards=shards, workers=workers,
+                                  retain_microdata=retain_microdata)
         with self._lock:
             if name in self._publications:
                 raise ServiceError(

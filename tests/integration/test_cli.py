@@ -4,6 +4,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 import urllib.request
 from pathlib import Path
 
@@ -207,6 +208,102 @@ class TestServe:
     def test_serve_rejects_bad_mode(self, capsys):
         assert main(["serve", "--mode", "sloppy"]) == EXIT_USAGE
         capsys.readouterr()
+
+    def test_serve_monitor_smoke(self, tmp_path):
+        """``serve --monitor --slo-config --export-telemetry``: the
+        background canary publishes ``repro_utility_relative_error``
+        on /metrics, /healthz turns tri-state, and the telemetry
+        exporter writes span/metrics JSON lines."""
+        slo_path = tmp_path / "slo.json"
+        slo_path.write_text(json.dumps({"error_rate_failing": 0.5}))
+        telemetry_path = tmp_path / "telemetry.jsonl"
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--trace", "--monitor", "--monitor-interval", "0.1",
+             "--monitor-queries", "8",
+             "--slo-config", str(slo_path),
+             "--export-telemetry", str(telemetry_path)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        try:
+            line = process.stdout.readline()
+            assert line.startswith("serving on http://"), line
+            base = line.split()[-1].strip()
+
+            def call(method, path, body=None):
+                data = json.dumps(body).encode() if body is not None \
+                    else None
+                request = urllib.request.Request(
+                    base + path, data=data, method=method,
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(request, timeout=30) as r:
+                    return r.status, json.loads(r.read())
+
+            status, _ = call("POST", "/publications", {
+                "name": "smoke", "l": 2,
+                "schema": {"qi": [{"name": "A", "size": 10}],
+                           "sensitive": {"name": "S", "size": 5}}})
+            assert status == 201
+            status, result = call(
+                "POST", "/publications/smoke/ingest",
+                {"rows": [[i % 10, i % 5] for i in range(40)]})
+            assert status == 200 and result["sealed_groups"] > 0
+
+            # poll until the background canary has measured the
+            # publication and its gauge is scrapeable
+            deadline = time.monotonic() + 30.0
+            while True:
+                with urllib.request.urlopen(base + "/metrics",
+                                            timeout=30) as r:
+                    parsed = parse_prometheus_text(r.read().decode())
+                samples = parsed.get(
+                    "repro_utility_relative_error", {}).get(
+                        "samples", {})
+                if any('publication="smoke"' in key
+                       for key in samples):
+                    break
+                assert time.monotonic() < deadline, \
+                    "canary gauge never appeared on /metrics"
+                time.sleep(0.05)
+            assert all(value >= 0.0 for value in samples.values())
+            assert "repro_build_info" in parsed
+            assert "repro_uptime_seconds" in parsed
+            assert "repro_utility_canary_runs_total" in parsed
+
+            # tri-state health: quiet clean service reports ok with
+            # the per-SLO breakdown attached
+            status, health = call("GET", "/healthz")
+            assert status == 200 and health["status"] == "ok"
+            assert "slos" in health and "reasons" in health
+            # the evaluation above published the state gauge
+            with urllib.request.urlopen(base + "/metrics",
+                                        timeout=30) as r:
+                parsed = parse_prometheus_text(r.read().decode())
+            assert parsed["repro_slo_state"]["samples"][
+                "repro_slo_state"] == 0.0
+
+            # the exporter drains spans and metric snapshots to disk
+            deadline = time.monotonic() + 30.0
+            while True:
+                lines = [json.loads(l) for l in
+                         telemetry_path.read_text().splitlines()] \
+                    if telemetry_path.exists() else []
+                kinds = {record["kind"] for record in lines}
+                if {"span", "metrics"} <= kinds:
+                    break
+                assert time.monotonic() < deadline, \
+                    f"telemetry never flushed both kinds: {kinds}"
+                time.sleep(0.05)
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
 
 
 class TestExperimentCommand:

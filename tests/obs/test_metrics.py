@@ -233,3 +233,121 @@ class TestPrometheusRendering:
     def test_default_latency_buckets_are_sorted(self):
         assert list(DEFAULT_LATENCY_BUCKETS) == \
             sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestQuantiles:
+    def test_interpolates_within_the_containing_bucket(self):
+        from repro.obs.metrics import quantile_from_buckets
+
+        # 10 observations all in (1, 2]; the median sits mid-bucket.
+        assert quantile_from_buckets((1.0, 2.0, 4.0),
+                                     (0, 10, 0, 0), 0.5) == 1.5
+        # First bucket interpolates from 0.
+        assert quantile_from_buckets((1.0, 2.0), (4, 0, 0), 0.5) == 0.5
+
+    def test_inf_bucket_reports_the_highest_finite_bound(self):
+        from repro.obs.metrics import quantile_from_buckets
+
+        assert quantile_from_buckets((1.0, 2.0), (0, 0, 5),
+                                     0.99) == 2.0
+
+    def test_empty_and_invalid_inputs(self):
+        from repro.obs.metrics import quantile_from_buckets
+
+        assert math.isnan(quantile_from_buckets((1.0,), (0, 0), 0.5))
+        with pytest.raises(ValueError, match="quantile"):
+            quantile_from_buckets((1.0,), (1, 0), 1.5)
+        with pytest.raises(ValueError, match="bucket counts"):
+            quantile_from_buckets((1.0, 2.0), (1, 0), 0.5)
+
+    def test_extremes_hit_bucket_boundaries(self):
+        from repro.obs.metrics import quantile_from_buckets
+
+        counts = (2, 3, 5, 0)
+        assert quantile_from_buckets((1.0, 2.0, 4.0), counts, 0.0) == 0.0
+        assert quantile_from_buckets((1.0, 2.0, 4.0), counts, 1.0) == 4.0
+
+    def test_histogram_quantile_reads_one_series(self):
+        histogram = MetricsRegistry().histogram(
+            "lat_seconds", labelnames=("endpoint",),
+            buckets=(0.1, 1.0))
+        for value in (0.05, 0.05, 0.5, 0.5):
+            histogram.observe(value, endpoint="/q")
+        assert histogram.quantile(0.5, endpoint="/q") == \
+            pytest.approx(0.1)
+        assert histogram.quantile(1.0, endpoint="/q") == \
+            pytest.approx(1.0)
+        assert math.isnan(histogram.quantile(0.5, endpoint="/other"))
+
+
+class TestBuildInfo:
+    def test_registers_constant_gauge_and_ticking_uptime(self):
+        from repro.obs.metrics import register_build_info
+
+        registry = MetricsRegistry()
+        register_build_info(registry, version="9.9.9",
+                            start_time=0.0)  # epoch => huge uptime
+        document = registry.to_json()
+        build = document["repro_build_info"]
+        (key, value), = build["values"].items()
+        assert value == 1.0 and key.startswith("9.9.9,")
+        assert document["repro_uptime_seconds"]["value"] > 0.0
+
+    def test_default_version_is_the_package_version(self):
+        import repro
+        from repro.obs.metrics import register_build_info
+
+        registry = MetricsRegistry()
+        register_build_info(registry)
+        rendered = registry.render_prometheus()
+        assert f'version="{repro.__version__}"' in rendered
+        parse_prometheus_text(rendered)  # stays scrapeable
+
+
+class TestRenderRaces:
+    def test_concurrent_writes_and_renders_do_not_corrupt(self):
+        """The exporter snapshots the registry from a background
+        thread while request threads keep writing; renders must never
+        observe half-updates ("dictionary changed size during
+        iteration") and every final total must be exact."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", labelnames=("k",))
+        gauge = registry.gauge("level", labelnames=("k",))
+        histogram = registry.histogram("lat", labelnames=("k",),
+                                       buckets=(0.5, 1.0))
+        per_thread, writers_n = 300, 4
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer(i):
+            try:
+                for j in range(per_thread):
+                    key = f"w{i}.{j % 17}"
+                    counter.inc(k=key)
+                    gauge.set(float(j), k=key)
+                    histogram.observe(0.1 * (j % 12), k=key)
+            except BaseException as exc:
+                errors.append(exc)
+
+        def renderer():
+            try:
+                while not stop.is_set():
+                    registry.to_json()
+                    parse_prometheus_text(
+                        registry.render_prometheus())
+            except BaseException as exc:
+                errors.append(exc)
+
+        render_thread = threading.Thread(target=renderer)
+        writers = [threading.Thread(target=writer, args=(i,))
+                   for i in range(writers_n)]
+        render_thread.start()
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        render_thread.join()
+        assert errors == []
+        totals = registry.get("hits_total").to_json()["values"]
+        assert sum(totals.values()) == per_thread * writers_n

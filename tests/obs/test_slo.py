@@ -1,0 +1,233 @@
+"""Unit tests for the rolling-window SLO health engine."""
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.audit import GAUGE_AUDIT_OK, GAUGE_ELIGIBILITY_MARGIN
+from repro.obs.logging import StructuredLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import GAUGE_RELATIVE_ERROR
+from repro.obs.slo import (
+    GAUGE_SLO_OK,
+    GAUGE_STATE,
+    REQUEST_SECONDS,
+    REQUESTS_TOTAL,
+    HealthEngine,
+    SLOConfig,
+    load_slo_config,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+def engine_for(registry, config, **kwargs):
+    clock = FakeClock()
+    return HealthEngine(registry, config, clock=clock,
+                        **kwargs), clock
+
+
+def record_requests(registry, *, ok=0, errors=0, latency_s=0.01):
+    counter = registry.counter(
+        REQUESTS_TOTAL, labelnames=("endpoint", "method", "status"))
+    histogram = registry.histogram(
+        REQUEST_SECONDS, labelnames=("endpoint", "method"))
+    for _ in range(ok):
+        counter.inc(endpoint="/q", method="POST", status="200")
+        histogram.observe(latency_s, endpoint="/q", method="POST")
+    for _ in range(errors):
+        counter.inc(endpoint="/q", method="POST", status="500")
+        histogram.observe(latency_s, endpoint="/q", method="POST")
+
+
+class TestConfig:
+    def test_threshold_ordering_is_validated(self):
+        with pytest.raises(ReproError, match="error_rate"):
+            SLOConfig(error_rate_degraded=0.5, error_rate_failing=0.1)
+        with pytest.raises(ReproError, match="window"):
+            SLOConfig(window_s=0.0)
+
+    def test_from_json_rejects_unknown_keys(self):
+        config = SLOConfig.from_json({"window_s": 60.0})
+        assert config.window_s == 60.0
+        with pytest.raises(ReproError, match="unknown SLO config"):
+            SLOConfig.from_json({"windows": 60.0})
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"error_rate_failing": 0.5}))
+        assert load_slo_config(str(path)).error_rate_failing == 0.5
+        with pytest.raises(ReproError, match="cannot load"):
+            load_slo_config(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(ReproError, match="JSON object"):
+            load_slo_config(str(bad))
+
+
+class TestErrorBurn:
+    def test_clean_traffic_is_ok(self, registry):
+        engine, clock = engine_for(registry, SLOConfig())
+        engine.observe()
+        record_requests(registry, ok=100)
+        clock.advance(10.0)
+        status = engine.evaluate()
+        assert status.state == "ok" and status.reasons == []
+        assert status.slos["error_rate"]["value"] == 0.0
+
+    def test_burning_errors_degrade_then_fail(self, registry):
+        config = SLOConfig(error_rate_degraded=0.05,
+                           error_rate_failing=0.25)
+        engine, clock = engine_for(registry, config)
+        engine.observe()
+        record_requests(registry, ok=90, errors=10)
+        clock.advance(10.0)
+        status = engine.evaluate()
+        assert status.state == "degraded"
+        assert any("error_rate" in r for r in status.reasons)
+        record_requests(registry, errors=90)
+        clock.advance(10.0)
+        assert engine.evaluate().state == "failing"
+
+    def test_old_errors_age_out_of_the_window(self, registry):
+        config = SLOConfig(window_s=30.0, error_rate_degraded=0.05,
+                           error_rate_failing=0.25)
+        engine, clock = engine_for(registry, config)
+        engine.observe()
+        record_requests(registry, errors=50)
+        clock.advance(5.0)
+        assert engine.evaluate().state == "failing"
+        # The burst stops; clean traffic pushes it past the horizon.
+        for _ in range(8):
+            clock.advance(10.0)
+            record_requests(registry, ok=50)
+            status = engine.evaluate()
+        assert status.state == "ok"
+
+    def test_no_window_yet_reports_nan_and_ok(self, registry):
+        engine, _ = engine_for(registry, SLOConfig())
+        status = engine.evaluate()  # single snapshot, no baseline
+        assert status.state == "ok"
+
+
+class TestLatency:
+    def test_windowed_p99_breaches(self, registry):
+        config = SLOConfig(latency_p99_degraded_s=0.05,
+                           latency_p99_failing_s=1.0)
+        engine, clock = engine_for(registry, config)
+        engine.observe()
+        record_requests(registry, ok=100, latency_s=0.2)
+        clock.advance(10.0)
+        status = engine.evaluate()
+        assert status.state == "degraded"
+        assert 0.05 < status.slos["latency_p99"]["value"] <= 1.0
+
+    def test_slow_past_ages_out(self, registry):
+        config = SLOConfig(window_s=30.0,
+                           latency_p99_degraded_s=0.05)
+        engine, clock = engine_for(registry, config)
+        engine.observe()
+        record_requests(registry, ok=50, latency_s=0.2)
+        clock.advance(5.0)
+        assert engine.evaluate().state == "degraded"
+        for _ in range(8):
+            clock.advance(10.0)
+            record_requests(registry, ok=200, latency_s=0.001)
+            status = engine.evaluate()
+        assert status.state == "ok"
+
+
+class TestGaugeSLOs:
+    def test_utility_error_thresholds(self, registry):
+        config = SLOConfig(utility_error_degraded=0.1,
+                           utility_error_failing=0.5)
+        engine, _ = engine_for(registry, config)
+        gauge = registry.gauge(GAUGE_RELATIVE_ERROR,
+                               labelnames=("publication",))
+        gauge.set(0.02, publication="a")
+        assert engine.evaluate().state == "ok"
+        gauge.set(0.2, publication="b")  # worst publication counts
+        assert engine.evaluate().state == "degraded"
+        gauge.set(0.9, publication="b")
+        assert engine.evaluate().state == "failing"
+
+    def test_privacy_margin_floor_degrades(self, registry):
+        config = SLOConfig(privacy_margin_degraded=0.1)
+        engine, _ = engine_for(registry, config)
+        margin = registry.gauge(
+            GAUGE_ELIGIBILITY_MARGIN,
+            labelnames=("publication", "version"))
+        margin.set(0.5, publication="a", version="1")
+        assert engine.evaluate().state == "ok"
+        margin.set(0.05, publication="a", version="2")
+        status = engine.evaluate()
+        assert status.state == "degraded"
+        assert status.slos["privacy_margin"]["value"] == \
+            pytest.approx(0.05)
+
+    def test_violated_privacy_audit_always_fails(self, registry):
+        engine, _ = engine_for(registry, SLOConfig())
+        audit = registry.gauge(
+            GAUGE_AUDIT_OK, labelnames=("publication", "version"))
+        audit.set(1.0, publication="a", version="1")
+        assert engine.evaluate().state == "ok"
+        audit.set(0.0, publication="a", version="2")
+        status = engine.evaluate()
+        assert status.state == "failing"
+        assert any("privacy audit" in r for r in status.reasons)
+
+
+class TestAlertsAndExports:
+    def test_state_transitions_emit_structured_alerts(self, registry):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream, service="test")
+        config = SLOConfig(utility_error_failing=0.5)
+        engine, _ = engine_for(registry, config, logger=logger)
+        gauge = registry.gauge(GAUGE_RELATIVE_ERROR,
+                               labelnames=("publication",))
+        gauge.set(0.9, publication="a")
+        engine.evaluate()
+        engine.evaluate()  # no transition, no second alert
+        gauge.set(0.01, publication="a")
+        engine.evaluate()
+        events = [json.loads(line)
+                  for line in stream.getvalue().splitlines()]
+        changes = [e for e in events
+                   if e["event"] == "slo.state_change"]
+        assert [(e["previous"], e["state"], e["level"])
+                for e in changes] == [("ok", "failing", "warning"),
+                                      ("failing", "ok", "info")]
+
+    def test_state_and_per_slo_gauges_are_exported(self, registry):
+        config = SLOConfig(utility_error_degraded=0.1)
+        engine, _ = engine_for(registry, config)
+        registry.gauge(GAUGE_RELATIVE_ERROR,
+                       labelnames=("publication",)).set(
+                           0.5, publication="a")
+        engine.evaluate()
+        assert registry.get(GAUGE_STATE).value() == 1.0
+        assert registry.get(GAUGE_SLO_OK).value(
+            slo="utility_error") == 0.0
+        assert engine.state == "degraded"
+
+    def test_healthstatus_to_json_shape(self, registry):
+        engine, _ = engine_for(registry, SLOConfig())
+        document = engine.evaluate().to_json()
+        assert set(document) == {"status", "reasons", "slos"}
+        assert document["status"] in ("ok", "degraded", "failing")

@@ -98,6 +98,87 @@ class TestSpans:
         tracer.clear()
         assert tracer.finished() == [] and tracer.dropped == 0
 
+    def test_overflow_bumps_the_dropped_spans_counter(self):
+        from repro.obs import metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        tracer = Tracer(max_spans=2)
+        previous_tracer = tracing.set_tracer(tracer)
+        previous_registry = metrics.set_registry(registry)
+        try:
+            for name in ("a", "b", "c", "d"):
+                with tracing.span(name):
+                    pass
+        finally:
+            tracing.set_tracer(previous_tracer)
+            metrics.set_registry(previous_registry)
+        counter = registry.get("repro_trace_spans_dropped_total")
+        assert counter is not None and counter.value() == 2.0
+        assert tracer.dropped == 2
+
+    def test_ingest_external_overflow_also_counts_drops(self):
+        tracer = Tracer(max_spans=1)
+        tracer.ingest_external("one", 0.1)
+        tracer.ingest_external("two", 0.1)
+        assert tracer.dropped == 1
+        assert [s["name"] for s in tracer.finished()] == ["two"]
+
+
+class TestDrain:
+    def test_drain_takes_everything_exactly_once(self, tracer):
+        for name in ("a", "b"):
+            with tracing.span(name):
+                pass
+        batch = tracer.drain()
+        assert [s["name"] for s in batch] == ["a", "b"]
+        assert tracer.finished() == [] and tracer.drain() == []
+
+    def test_drain_preserves_the_drop_tally(self):
+        tracer = Tracer(max_spans=1)
+        previous = tracing.set_tracer(tracer)
+        try:
+            for name in ("a", "b"):
+                with tracing.span(name):
+                    pass
+        finally:
+            tracing.set_tracer(previous)
+        tracer.drain()
+        assert tracer.dropped == 1  # cumulative, like a counter
+
+    def test_concurrent_drain_hands_out_each_span_once(self, tracer):
+        """The exporter guarantee: under concurrent finishers and
+        drainers, every span lands in exactly one drained batch (or
+        the final buffer), never two."""
+        per_thread, threads_n = 200, 4
+        drained: list[dict] = []
+        stop = threading.Event()
+
+        def finisher(i):
+            for j in range(per_thread):
+                with tracing.span(f"t{i}.{j}"):
+                    pass
+
+        def drainer():
+            while not stop.is_set():
+                drained.extend(tracer.drain())
+
+        drain_thread = threading.Thread(target=drainer)
+        workers = [threading.Thread(target=finisher, args=(i,))
+                   for i in range(threads_n)]
+        drain_thread.start()
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        stop.set()
+        drain_thread.join()
+        drained.extend(tracer.drain())
+        names = [s["name"] for s in drained]
+        assert len(names) == per_thread * threads_n
+        assert len(set(names)) == len(names)
+        assert tracer.dropped == 0
+
 
 class TestCrossThread:
     def test_captured_context_parents_spans_on_another_thread(

@@ -17,6 +17,8 @@ import urllib.request
 import pytest
 
 from repro.obs.metrics import parse_prometheus_text
+from repro.obs.monitor import GAUGE_RELATIVE_ERROR, CanaryConfig
+from repro.obs.slo import SLOConfig
 from repro.service.http import ReproService, make_server
 
 from tests.service.conftest import make_rows
@@ -292,3 +294,94 @@ class TestObservability:
         assert status == 200
         assert stats["privacy_audit"]["method"] == "adversary-exact"
         assert stats["privacy_audit"]["eligibility_margin"] >= 0.0
+
+    def test_stats_report_latency_quantiles(self, api):
+        self._exercise(api)
+        status, stats = api("GET", "/stats")
+        assert status == 200
+        latency = stats["latency"]
+        assert latency  # at least the exercised endpoints
+        for series in latency.values():
+            assert series["count"] >= 1
+            assert 0.0 <= series["p50_s"] <= series["p99_s"]
+        assert any(labels.get("endpoint") ==
+                   "/publications/{name}/query"
+                   for labels in
+                   (s["labels"] for s in latency.values()))
+
+
+@pytest.fixture()
+def monitored():
+    """A service with the canary monitor and SLO engine enabled;
+    yields (api, service) so tests can reach the registries."""
+    service = ReproService(
+        batch_window_s=0.0005,
+        monitor_config=CanaryConfig(count=8, seed=5, interval_s=60.0),
+        slo=SLOConfig(utility_error_degraded=0.2,
+                      utility_error_failing=0.5))
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    def call(method, path, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            base + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    yield call, service
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestMonitorAndHealth:
+    def test_healthz_tri_state(self, monitored):
+        api, service = monitored
+        status, payload = api("GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+        assert {"status", "reasons", "slos",
+                "publications"} <= set(payload)
+
+        gauge = service.metrics_registry.gauge(
+            GAUGE_RELATIVE_ERROR, labelnames=("publication",))
+        gauge.set(0.3, publication="p")  # past degraded, below failing
+        status, payload = api("GET", "/healthz")
+        assert status == 200 and payload["status"] == "degraded"
+        assert any("utility" in r for r in payload["reasons"])
+
+        gauge.set(0.9, publication="p")
+        status, payload = api("GET", "/healthz")
+        assert status == 503 and payload["status"] == "failing"
+
+    def test_canary_reports_surface_in_stats(self, monitored):
+        api, service = monitored
+        create_publication(api)
+        api("POST", "/publications/p/ingest", {"rows": make_rows(60)})
+        service.monitor.run_all()
+        status, stats = api("GET", "/stats")
+        assert status == 200
+        report = stats["utility"]["p"]
+        assert report["method"] == "ground-truth"
+        assert report["relative_error"] >= 0.0
+
+    def test_retain_microdata_false_switches_to_variance_model(
+            self, monitored):
+        api, service = monitored
+        status, payload = api("POST", "/publications", {
+            "name": "p", "l": 3, "schema": SCHEMA_SPEC,
+            "retain_microdata": False})
+        assert status == 201, payload
+        api("POST", "/publications/p/ingest", {"rows": make_rows(60)})
+        status, stats = api("GET", "/publications/p/stats")
+        assert status == 200
+        assert stats["retain_microdata"] is False
+        (report,) = service.monitor.run_all()
+        assert report.method == "variance-model"
